@@ -1,0 +1,43 @@
+// Ablation: the paper's proposed future-work placement policy (§VI-C4) —
+// size-balanced greedy assignment vs the round-robin used in the paper.
+// Reports eigendecomposition stage time and load imbalance at each scale,
+// over the true ResNet factor inventories.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/assignment.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using namespace dkfac;
+  using kfac::DistributionStrategy;
+  bench::print_banner(
+      "Ablation", "Factor placement policy: round-robin vs size-balanced");
+  bench::print_note(
+      "the paper proposes size-aware placement to fix the Table VI "
+      "imbalance; this ablation quantifies the gain it would deliver");
+
+  std::printf("%-11s %6s %16s %16s %10s %12s %12s\n", "Model", "GPUs",
+              "rr eig max(ms)", "sb eig max(ms)", "gain", "rr imbal",
+              "sb imbal");
+  for (int depth : {50, 101, 152}) {
+    sim::ClusterSim cluster(sim::resnet_imagenet_arch(depth));
+    const auto dims = cluster.arch().factor_dims();
+    for (int gpus : {16, 32, 64, 128}) {
+      const auto rr = cluster.kfac_stages(gpus, DistributionStrategy::kFactorWise);
+      const auto sb = cluster.kfac_stages(gpus, DistributionStrategy::kSizeBalanced);
+      const auto rr_assign = kfac::assign_round_robin(dims, gpus);
+      const auto sb_assign = kfac::assign_size_balanced(dims, gpus);
+      std::printf("ResNet-%-4d %6d %16.1f %16.1f %9.1f%% %12.2f %12.2f\n",
+                  depth, gpus, 1e3 * rr.eig_comp_max_s, 1e3 * sb.eig_comp_max_s,
+                  100.0 * (rr.eig_comp_max_s - sb.eig_comp_max_s) /
+                      rr.eig_comp_max_s,
+                  rr_assign.imbalance(dims), sb_assign.imbalance(dims));
+    }
+  }
+  std::printf("\nconclusion: size-balanced placement removes most of the "
+              "round-robin imbalance until the largest single factor "
+              "dominates (imbalance floor = max factor cost / mean load).\n");
+  return 0;
+}

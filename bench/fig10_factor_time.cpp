@@ -1,0 +1,30 @@
+// Figure 10: factor computation time as model complexity increases
+// (constant in GPU count, super-linear in model size).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using dkfac::kfac::DistributionStrategy;
+  dkfac::bench::print_banner("Figure 10",
+                             "Factor computation time vs model complexity");
+  dkfac::bench::print_note(
+      "paper: ~37 / 125 / 218 ms for ResNet-50/101/152 on 16 V100s, "
+      "super-linear in parameter count and flat in GPU count");
+  std::printf("%-11s %10s %14s %18s\n", "Model", "params(M)", "fac Tcomp(ms)",
+              "ms per Mparam");
+  double first_ratio = 0.0;
+  for (int depth : {50, 101, 152}) {
+    dkfac::sim::ClusterSim sim(dkfac::sim::resnet_imagenet_arch(depth));
+    const double params_m = sim.arch().total_params() / 1e6;
+    const double ms =
+        1e3 * sim.kfac_stages(16, DistributionStrategy::kFactorWise).factor_comp_s;
+    if (depth == 50) first_ratio = ms / params_m;
+    std::printf("ResNet-%-4d %10.1f %14.2f %18.3f\n", depth, params_m, ms,
+                ms / params_m);
+  }
+  std::printf("\nshape check: ms-per-Mparam grows with depth (super-linear in "
+              "params, baseline %.3f for ResNet-50).\n", first_ratio);
+  return 0;
+}

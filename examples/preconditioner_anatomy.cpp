@@ -1,0 +1,94 @@
+// Anatomy of a K-FAC update: walks one layer through the full pipeline —
+// factor capture, running average, damping, eigendecomposition (Eqs 13-15)
+// vs explicit inverse (Eq 11) — printing the intermediate quantities, so
+// you can see why the paper chose the inverse-free path.
+#include <cstdio>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+int main() {
+  using namespace dkfac;
+  using linalg::matmul;
+  using linalg::Trans;
+
+  // A single Linear layer on a synthetic batch.
+  Rng rng(7);
+  nn::Sequential model("demo");
+  model.emplace<nn::Linear>(8, 4, /*bias=*/false, rng, "fc");
+  auto* fc = dynamic_cast<nn::Linear*>(model.children()[0]);
+
+  const int64_t batch = 64;
+  Tensor x = Tensor::randn(Shape{batch, 8}, rng);
+  // Correlated inputs: the ill-conditioned case K-FAC is built for.
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t j = 1; j < 8; ++j) {
+      x.at(i, j) = 0.7f * x.at(i, j - 1) + 0.3f * x.at(i, j);
+    }
+  }
+  std::vector<int64_t> labels(batch);
+  for (int64_t i = 0; i < batch; ++i) labels[static_cast<size_t>(i)] = i % 4;
+
+  model.zero_grad();
+  nn::LossResult loss = nn::softmax_cross_entropy(model.forward(x), labels);
+  model.backward(loss.grad);
+
+  // --- Step 1 (Algorithm 1): Kronecker factors from the layer hooks -------
+  Tensor a = fc->kfac_a_factor();  // A = E[a aᵀ], 8×8
+  Tensor g = fc->kfac_g_factor();  // G = E[g gᵀ], 4×4
+  std::printf("factor A is %lldx%lld, factor G is %lldx%lld\n",
+              static_cast<long long>(a.dim(0)), static_cast<long long>(a.dim(1)),
+              static_cast<long long>(g.dim(0)), static_cast<long long>(g.dim(1)));
+
+  // --- Step 2: eigendecompositions ----------------------------------------
+  linalg::SymEig ea = linalg::sym_eig(a);
+  linalg::SymEig eg = linalg::sym_eig(g);
+  std::printf("\nspectrum of A (correlated inputs => ill-conditioned):\n  ");
+  for (int64_t i = 0; i < ea.values.dim(0); ++i) {
+    std::printf("%.2e ", ea.values[i]);
+  }
+  const float cond = ea.values[ea.values.dim(0) - 1] /
+                     std::max(ea.values[0], 1e-12f);
+  std::printf("\n  condition number ~ %.1e — SGD steps are dominated by the "
+              "top eigendirections;\n  K-FAC rescales each direction by "
+              "1/(lambda + gamma).\n", cond);
+
+  // --- Step 3: precondition the gradient (Eqs 13-15) ----------------------
+  const float gamma = 0.01f;
+  Tensor grad = fc->kfac_grad();  // [4, 8]
+  Tensor v1 = matmul(matmul(eg.vectors, grad, Trans::kYes, Trans::kNo), ea.vectors);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      v1.at(i, j) /= eg.values[i] * ea.values[j] + gamma;
+    }
+  }
+  Tensor precond = matmul(matmul(eg.vectors, v1), ea.vectors, Trans::kNo, Trans::kYes);
+
+  // Invariant: G·P·A + gamma·P == grad.
+  Tensor check = matmul(matmul(g, precond), a);
+  check.axpy_(gamma, precond);
+  std::printf("\neigen path residual ||G P A + gamma P - grad|| = %.2e "
+              "(should be ~0)\n", linalg::frobenius_distance(check, grad));
+
+  // --- The explicit-inverse alternative (Eq 11) — Table I's loser ---------
+  Tensor a_damped = a;
+  Tensor g_damped = g;
+  linalg::add_diagonal(a_damped, gamma);
+  linalg::add_diagonal(g_damped, gamma);
+  Tensor precond_inv =
+      matmul(matmul(linalg::spd_inverse(g_damped), grad), linalg::spd_inverse(a_damped));
+  std::printf("\n||eigen path - inverse path|| = %.3f (the two damp "
+              "differently:\n  eigen adds gamma to the *product* spectrum "
+              "lambda_G*lambda_A, the inverse\n  path to each factor — the "
+              "paper's Table I shows the eigen form preserves\n  accuracy at "
+              "large batch sizes)\n",
+              linalg::frobenius_distance(precond, precond_inv));
+  std::printf("\ngradient norm %.4f -> preconditioned norm %.4f\n", grad.norm(),
+              precond.norm());
+  return 0;
+}

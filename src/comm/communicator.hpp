@@ -1,0 +1,102 @@
+// Collective communication interface (the Horovod substitute).
+//
+// The paper's Algorithm 1 is expressed entirely in terms of three
+// collectives — allreduce, allgather, broadcast — plus rank/size queries.
+// This interface mirrors that surface. Production Horovod backs these with
+// NCCL/MPI rings across nodes; here the default backend runs N ranks as N
+// threads over shared memory with identical semantics (see thread_comm.hpp),
+// which keeps every K-FAC code path exercised on one machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dkfac::comm {
+
+/// Reduction applied by allreduce.
+enum class ReduceOp {
+  kSum,
+  kAverage,  // sum / size — what gradient and factor exchange use
+  kMax,
+};
+
+/// Per-rank communication counters (drives the comm-volume ablation bench).
+struct CommStats {
+  uint64_t allreduce_calls = 0;
+  uint64_t allreduce_bytes = 0;
+  uint64_t allgather_calls = 0;
+  uint64_t allgather_bytes = 0;
+  uint64_t broadcast_calls = 0;
+  uint64_t broadcast_bytes = 0;
+
+  uint64_t total_bytes() const {
+    return allreduce_bytes + allgather_bytes + broadcast_bytes;
+  }
+};
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// In-place elementwise reduction across all ranks. Deterministic:
+  /// contributions are combined in rank order on every rank.
+  virtual void allreduce(std::span<float> data, ReduceOp op) = 0;
+
+  /// Concatenation of every rank's contribution in rank order. Sizes may
+  /// differ per rank (allgatherv semantics, like Horovod's allgather).
+  virtual std::vector<float> allgather(std::span<const float> send) = 0;
+
+  /// Copies `data` from `root` to all ranks.
+  virtual void broadcast(std::span<float> data, int root) = 0;
+
+  virtual void barrier() = 0;
+
+  const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  // ---- tensor conveniences ---------------------------------------------
+
+  void allreduce(Tensor& t, ReduceOp op) { allreduce(t.span(), op); }
+  void broadcast(Tensor& t, int root) { broadcast(t.span(), root); }
+
+ protected:
+  CommStats stats_;
+};
+
+/// Size-1 communicator: every collective is a no-op (single-process runs).
+class SelfComm final : public Communicator {
+ public:
+  using Communicator::allreduce;
+  using Communicator::broadcast;
+
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+
+  void allreduce(std::span<float> data, ReduceOp op) override {
+    stats_.allreduce_calls++;
+    stats_.allreduce_bytes += data.size_bytes();
+    (void)op;
+  }
+
+  std::vector<float> allgather(std::span<const float> send) override {
+    stats_.allgather_calls++;
+    stats_.allgather_bytes += send.size_bytes();
+    return {send.begin(), send.end()};
+  }
+
+  void broadcast(std::span<float> data, int root) override {
+    stats_.broadcast_calls++;
+    stats_.broadcast_bytes += data.size_bytes();
+    (void)root;
+  }
+
+  void barrier() override {}
+};
+
+}  // namespace dkfac::comm

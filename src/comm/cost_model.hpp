@@ -1,0 +1,58 @@
+// Analytic collective cost model (alpha–beta model on a ring).
+//
+// Used by dkfac_sim to reproduce the paper's at-scale results (Figs 7–9,
+// Tables IV–V). Horovod's allreduce is the bandwidth-optimal ring
+// scatter-reduce/allgather (Patarasuk & Yuan), whose cost for message size
+// n bytes over p ranks is
+//
+//   T = 2(p-1)·α + 2·(p-1)/p · n/β
+//
+// with per-hop latency α and link bandwidth β. Ring allgather moves
+// (p-1)/p of the aggregate payload; broadcast is modelled as a binomial
+// tree. Defaults approximate EDR InfiniBand (100 Gb/s) with NCCL-like
+// launch overheads, the fabric of the paper's Frontera GPU subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+struct CostModel {
+  double latency_s = 2.0e-5;          // per-hop α (NCCL launch + EDR hop)
+  double bandwidth_bytes_per_s = 10.0e9;  // β ≈ 100 Gb/s EDR effective
+  /// Fraction of β actually sustained by the collective implementation.
+  double efficiency = 0.85;
+
+  double effective_bandwidth() const { return bandwidth_bytes_per_s * efficiency; }
+
+  /// Ring allreduce of `bytes` across `ranks`.
+  double allreduce_time(uint64_t bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks == 1 || bytes == 0) return 0.0;
+    const double p = ranks;
+    return 2.0 * (p - 1.0) * latency_s +
+           2.0 * (p - 1.0) / p * static_cast<double>(bytes) / effective_bandwidth();
+  }
+
+  /// Ring allgather where `total_bytes` is the aggregate gathered payload.
+  double allgather_time(uint64_t total_bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks == 1 || total_bytes == 0) return 0.0;
+    const double p = ranks;
+    return (p - 1.0) * latency_s +
+           (p - 1.0) / p * static_cast<double>(total_bytes) / effective_bandwidth();
+  }
+
+  /// Binomial-tree broadcast of `bytes` from one root.
+  double broadcast_time(uint64_t bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks == 1 || bytes == 0) return 0.0;
+    double hops = 0.0;
+    for (int p = 1; p < ranks; p *= 2) hops += 1.0;
+    return hops * (latency_s + static_cast<double>(bytes) / effective_bandwidth());
+  }
+};
+
+}  // namespace dkfac::comm

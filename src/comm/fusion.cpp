@@ -1,0 +1,57 @@
+#include "comm/fusion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+FusionBuffer::FusionBuffer(Communicator& comm, size_t capacity_bytes)
+    : comm_(comm), capacity_elements_(capacity_bytes / sizeof(float)) {
+  DKFAC_CHECK(capacity_elements_ > 0) << "fusion buffer too small";
+}
+
+void FusionBuffer::add(std::span<float> view) { views_.push_back(view); }
+
+void FusionBuffer::execute(ReduceOp op) {
+  last_chunk_count_ = 0;
+  size_t view_index = 0;
+  size_t offset_in_view = 0;  // resume point for views larger than a chunk
+
+  while (view_index < views_.size()) {
+    // Pack up to capacity_elements_ into the staging buffer.
+    staging_.clear();
+    struct Placement {
+      size_t view;
+      size_t view_offset;
+      size_t staging_offset;
+      size_t count;
+    };
+    std::vector<Placement> placements;
+    while (view_index < views_.size() && staging_.size() < capacity_elements_) {
+      const std::span<float> view = views_[view_index];
+      const size_t room = capacity_elements_ - staging_.size();
+      const size_t take = std::min(room, view.size() - offset_in_view);
+      placements.push_back({view_index, offset_in_view, staging_.size(), take});
+      staging_.insert(staging_.end(), view.begin() + static_cast<ptrdiff_t>(offset_in_view),
+                      view.begin() + static_cast<ptrdiff_t>(offset_in_view + take));
+      offset_in_view += take;
+      if (offset_in_view == view.size()) {
+        ++view_index;
+        offset_in_view = 0;
+      }
+    }
+
+    comm_.allreduce(staging_, op);
+    ++last_chunk_count_;
+
+    for (const Placement& p : placements) {
+      std::copy(staging_.begin() + static_cast<ptrdiff_t>(p.staging_offset),
+                staging_.begin() + static_cast<ptrdiff_t>(p.staging_offset + p.count),
+                views_[p.view].begin() + static_cast<ptrdiff_t>(p.view_offset));
+    }
+  }
+  views_.clear();
+}
+
+}  // namespace dkfac::comm

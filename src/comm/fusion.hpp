@@ -1,0 +1,44 @@
+// Fusion-buffer collectives (Horovod §II-D fidelity).
+//
+// Horovod accumulates small tensors into a 16–32 MB fusion buffer before
+// each allreduce so every collective stays bandwidth-dominated. This
+// helper gives dkfac the same behaviour: register any number of tensor
+// views, then execute one chunked allreduce over them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace dkfac::comm {
+
+class FusionBuffer {
+ public:
+  /// `capacity_bytes` mirrors Horovod's fusion-buffer knob (default 32 MB).
+  explicit FusionBuffer(Communicator& comm, size_t capacity_bytes = 32 << 20);
+
+  /// Registers a tensor view for the next allreduce. Views must stay valid
+  /// until execute() returns.
+  void add(std::span<float> view);
+  void add(Tensor& tensor) { add(tensor.span()); }
+
+  /// Allreduces every registered view, packing them into buffer-sized
+  /// chunks (each chunk is one collective). Clears the registration list.
+  void execute(ReduceOp op);
+
+  size_t pending_views() const { return views_.size(); }
+  size_t capacity_elements() const { return capacity_elements_; }
+  /// Collectives issued by the last execute() — the fusion ratio.
+  size_t last_chunk_count() const { return last_chunk_count_; }
+
+ private:
+  Communicator& comm_;
+  size_t capacity_elements_;
+  std::vector<std::span<float>> views_;
+  std::vector<float> staging_;
+  size_t last_chunk_count_ = 0;
+};
+
+}  // namespace dkfac::comm

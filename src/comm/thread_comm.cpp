@@ -1,0 +1,132 @@
+#include "comm/thread_comm.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+void ThreadComm::allreduce(std::span<float> data, ReduceOp op) {
+  auto& st = *state_;
+  stats_.allreduce_calls++;
+  stats_.allreduce_bytes += data.size_bytes();
+  if (st.size == 1) return;
+
+  // Publish this rank's buffer, wait for everyone, then every rank reduces
+  // all contributions in rank order into a private scratch buffer. Doing
+  // the full reduction on every rank (instead of scatter-reduce) costs
+  // O(P·n) per rank but is deterministic and identical across ranks, which
+  // the reproducibility tests rely on.
+  st.send_slots[static_cast<size_t>(rank_)] = data;
+  st.barrier.arrive_and_wait();
+
+  std::vector<float> result(data.size());
+  for (int r = 0; r < st.size; ++r) {
+    const auto src = st.send_slots[static_cast<size_t>(r)];
+    DKFAC_CHECK(src.size() == data.size())
+        << "allreduce length mismatch: rank " << r << " sent " << src.size()
+        << " elements, rank " << rank_ << " sent " << data.size();
+    if (op == ReduceOp::kMax) {
+      if (r == 0) {
+        for (size_t i = 0; i < data.size(); ++i) result[i] = src[i];
+      } else {
+        for (size_t i = 0; i < data.size(); ++i) {
+          result[i] = std::max(result[i], src[i]);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < data.size(); ++i) result[i] += src[i];
+    }
+  }
+  if (op == ReduceOp::kAverage) {
+    const float inv = 1.0f / static_cast<float>(st.size);
+    for (float& v : result) v *= inv;
+  }
+
+  // All ranks finished reading every slot before anyone overwrites `data`.
+  st.barrier.arrive_and_wait();
+  std::copy(result.begin(), result.end(), data.begin());
+  st.barrier.arrive_and_wait();
+}
+
+std::vector<float> ThreadComm::allgather(std::span<const float> send) {
+  auto& st = *state_;
+  stats_.allgather_calls++;
+  stats_.allgather_bytes += send.size_bytes();
+  if (st.size == 1) return {send.begin(), send.end()};
+
+  st.send_slots[static_cast<size_t>(rank_)] = send;
+  st.barrier.arrive_and_wait();
+
+  std::vector<float> out;
+  size_t total = 0;
+  for (int r = 0; r < st.size; ++r) total += st.send_slots[static_cast<size_t>(r)].size();
+  out.reserve(total);
+  for (int r = 0; r < st.size; ++r) {
+    const auto src = st.send_slots[static_cast<size_t>(r)];
+    out.insert(out.end(), src.begin(), src.end());
+  }
+
+  st.barrier.arrive_and_wait();
+  return out;
+}
+
+void ThreadComm::broadcast(std::span<float> data, int root) {
+  auto& st = *state_;
+  DKFAC_CHECK(root >= 0 && root < st.size)
+      << "broadcast root " << root << " out of range for size " << st.size;
+  stats_.broadcast_calls++;
+  stats_.broadcast_bytes += data.size_bytes();
+  if (st.size == 1) return;
+
+  if (rank_ == root) {
+    st.send_slots[static_cast<size_t>(root)] = data;
+  }
+  st.barrier.arrive_and_wait();
+
+  if (rank_ != root) {
+    const auto src = st.send_slots[static_cast<size_t>(root)];
+    DKFAC_CHECK(src.size() == data.size())
+        << "broadcast length mismatch: root sent " << src.size()
+        << ", rank " << rank_ << " expected " << data.size();
+    std::copy(src.begin(), src.end(), data.begin());
+  }
+  st.barrier.arrive_and_wait();
+}
+
+LocalGroup::LocalGroup(int size)
+    : state_(std::make_shared<detail::GroupState>(size)) {
+  DKFAC_CHECK(size >= 1) << "LocalGroup needs at least one rank";
+  comms_.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    comms_.emplace_back(new ThreadComm(r, state_));
+  }
+}
+
+Communicator& LocalGroup::comm(int rank) {
+  DKFAC_CHECK(rank >= 0 && rank < size())
+      << "rank " << rank << " out of range for group of size " << size();
+  return *comms_[static_cast<size_t>(rank)];
+}
+
+void LocalGroup::run(const std::function<void(int, Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(size()));
+  threads.reserve(static_cast<size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        fn(r, comm(r));
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dkfac::comm

@@ -1,0 +1,65 @@
+// Error handling primitives shared by every dkfac library.
+//
+// All contract violations throw dkfac::Error with a message that includes
+// the failing expression and source location; callers that can recover
+// catch Error, everything else is allowed to propagate to main().
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dkfac {
+
+/// Exception type thrown on any dkfac contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Stream-composable message builder used by the DKFAC_CHECK macro.
+/// Collects `<<`-ed parts and throws on conversion via fail().
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: (" << expr << ")";
+  }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    if (!augmented_) {
+      stream_ << " — ";
+      augmented_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void fail() const { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+  bool augmented_ = false;
+};
+
+}  // namespace detail
+}  // namespace dkfac
+
+/// Precondition/invariant check: throws dkfac::Error when `cond` is false.
+/// Additional context can be streamed:  DKFAC_CHECK(n > 0) << "n=" << n;
+#define DKFAC_CHECK(cond)                                                \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::dkfac::detail::CheckThrower{} =                                    \
+        ::dkfac::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+namespace dkfac::detail {
+
+/// Assignment sink that triggers the throw after the message is complete.
+struct CheckThrower {
+  [[noreturn]] void operator=(const CheckMessage& msg) const { msg.fail(); }
+};
+
+}  // namespace dkfac::detail

@@ -1,0 +1,18 @@
+#include "common/logging.hpp"
+
+namespace dkfac {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+namespace detail {
+
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace detail
+}  // namespace dkfac

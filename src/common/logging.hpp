@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr. No global state beyond the level;
+// intended for examples and benches, not hot loops.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dkfac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel& log_level();
+
+namespace detail {
+
+std::mutex& log_mutex();
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~LogLine() {
+    if (level_ >= log_level()) {
+      std::lock_guard<std::mutex> lock(log_mutex());
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace dkfac
+
+#define DKFAC_LOG_DEBUG ::dkfac::detail::LogLine(::dkfac::LogLevel::kDebug, "debug")
+#define DKFAC_LOG_INFO ::dkfac::detail::LogLine(::dkfac::LogLevel::kInfo, "info")
+#define DKFAC_LOG_WARN ::dkfac::detail::LogLine(::dkfac::LogLevel::kWarn, "warn")
+#define DKFAC_LOG_ERROR ::dkfac::detail::LogLine(::dkfac::LogLevel::kError, "error")

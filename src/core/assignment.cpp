@@ -1,0 +1,99 @@
+#include "core/assignment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dkfac::kfac {
+
+double WorkAssignment::load_of(int rank, const std::vector<int64_t>& dims) const {
+  DKFAC_CHECK(dims.size() == owner.size());
+  double load = 0.0;
+  for (size_t f = 0; f < owner.size(); ++f) {
+    if (owner[f] == rank) load += eig_cost(dims[f]);
+  }
+  return load;
+}
+
+double WorkAssignment::imbalance(const std::vector<int64_t>& dims) const {
+  DKFAC_CHECK(workers >= 1);
+  double total = 0.0;
+  double worst = 0.0;
+  for (int r = 0; r < workers; ++r) {
+    const double load = load_of(r, dims);
+    total += load;
+    worst = std::max(worst, load);
+  }
+  if (total == 0.0) return 1.0;
+  return worst / (total / workers);
+}
+
+WorkAssignment assign_round_robin(const std::vector<int64_t>& dims, int workers) {
+  DKFAC_CHECK(workers >= 1);
+  WorkAssignment a;
+  a.workers = workers;
+  a.owner.resize(dims.size());
+  for (size_t f = 0; f < dims.size(); ++f) {
+    a.owner[f] = static_cast<int>(f % static_cast<size_t>(workers));
+  }
+  return a;
+}
+
+WorkAssignment assign_layer_wise(const std::vector<int64_t>& dims, int workers) {
+  DKFAC_CHECK(workers >= 1);
+  DKFAC_CHECK(dims.size() % 2 == 0)
+      << "layer-wise assignment expects two factors per layer";
+  WorkAssignment a;
+  a.workers = workers;
+  a.owner.resize(dims.size());
+  for (size_t f = 0; f < dims.size(); ++f) {
+    const size_t layer = f / 2;
+    a.owner[f] = static_cast<int>(layer % static_cast<size_t>(workers));
+  }
+  return a;
+}
+
+WorkAssignment assign_size_balanced(const std::vector<int64_t>& dims, int workers) {
+  DKFAC_CHECK(workers >= 1);
+  WorkAssignment a;
+  a.workers = workers;
+  a.owner.assign(dims.size(), 0);
+
+  // Largest-first greedy: stable order (cost desc, then index asc) keeps
+  // the result deterministic across ranks.
+  std::vector<size_t> order(dims.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const double cx = eig_cost(dims[x]);
+    const double cy = eig_cost(dims[y]);
+    if (cx != cy) return cx > cy;
+    return x < y;
+  });
+
+  std::vector<double> load(static_cast<size_t>(workers), 0.0);
+  for (size_t f : order) {
+    const auto lightest =
+        std::min_element(load.begin(), load.end()) - load.begin();
+    a.owner[f] = static_cast<int>(lightest);
+    load[static_cast<size_t>(lightest)] += eig_cost(dims[f]);
+  }
+  return a;
+}
+
+WorkAssignment make_assignment(DistributionStrategy strategy,
+                               const std::vector<int64_t>& dims, int workers) {
+  switch (strategy) {
+    case DistributionStrategy::kLayerWise:
+      return assign_layer_wise(dims, workers);
+    case DistributionStrategy::kFactorWise:
+      return assign_round_robin(dims, workers);
+    case DistributionStrategy::kSizeBalanced:
+      return assign_size_balanced(dims, workers);
+  }
+  DKFAC_CHECK(false) << "unknown distribution strategy";
+  return {};
+}
+
+}  // namespace dkfac::kfac

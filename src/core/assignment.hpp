@@ -1,0 +1,59 @@
+// Factor → worker placement policies.
+//
+// Every rank computes the identical assignment from the (globally known)
+// factor dimensions, so no coordination is needed — exactly how the paper
+// assigns "factors to unique workers in a round-robin fashion" (Alg. 1,
+// step 1) and how it proposes balancing by size as future work (§VI-C4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace dkfac::kfac {
+
+/// Cost proxy for eigendecomposing an n×n factor: n³ (dense symmetric eig).
+inline double eig_cost(int64_t dim) {
+  return static_cast<double>(dim) * static_cast<double>(dim) *
+         static_cast<double>(dim);
+}
+
+/// owner[f] = worker that eigendecomposes factor f.
+struct WorkAssignment {
+  std::vector<int> owner;
+  int workers = 1;
+
+  /// Indices owned by `rank`, in ascending order (the canonical packing
+  /// order for the eigendecomposition allgather).
+  std::vector<int64_t> owned_by(int rank) const {
+    std::vector<int64_t> out;
+    for (size_t f = 0; f < owner.size(); ++f) {
+      if (owner[f] == rank) out.push_back(static_cast<int64_t>(f));
+    }
+    return out;
+  }
+
+  /// Σ eig_cost over the factors owned by `rank`.
+  double load_of(int rank, const std::vector<int64_t>& dims) const;
+
+  /// max load / mean load — 1.0 is perfectly balanced.
+  double imbalance(const std::vector<int64_t>& dims) const;
+};
+
+/// Paper's greedy round-robin: factor f → rank f mod workers.
+WorkAssignment assign_round_robin(const std::vector<int64_t>& dims, int workers);
+
+/// Layer-wise (K-FAC-lw): layer i → rank i mod workers; both of a layer's
+/// factors (indices 2i, 2i+1 in the flattened factor list) share an owner.
+WorkAssignment assign_layer_wise(const std::vector<int64_t>& dims, int workers);
+
+/// Largest-first greedy bin packing on eig_cost — the future-work policy.
+WorkAssignment assign_size_balanced(const std::vector<int64_t>& dims, int workers);
+
+/// Dispatch on strategy. `dims` is the flattened factor-dimension list
+/// (A₀, G₁, A₁, G₂, ... — two entries per layer).
+WorkAssignment make_assignment(DistributionStrategy strategy,
+                               const std::vector<int64_t>& dims, int workers);
+
+}  // namespace dkfac::kfac

@@ -1,0 +1,95 @@
+// Configuration surface of the distributed K-FAC preconditioner.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac::kfac {
+
+/// How (F̂ + γI)⁻¹∇L is evaluated (paper §IV-A, Table I).
+enum class InverseMethod {
+  /// Implicit eigendecomposition path, Eqs 13–15 — the paper's choice.
+  kEigenDecomposition,
+  /// Explicit (A+γI)⁻¹, (G+γI)⁻¹ via Cholesky, Eq 11 — kept for the
+  /// Table I comparison; degrades at large batch sizes.
+  kExplicitInverse,
+};
+
+/// How K-FAC work is spread across workers (paper §VI-C3).
+enum class DistributionStrategy {
+  /// K-FAC-lw: each layer's whole update (both factors + preconditioning)
+  /// on one worker; preconditioned gradients exchanged every iteration.
+  kLayerWise,
+  /// K-FAC-opt (Algorithm 1): each *factor* round-robin to a worker;
+  /// eigendecompositions allgathered only on update iterations and
+  /// gradients preconditioned locally everywhere.
+  kFactorWise,
+  /// The placement policy the paper proposes as future work (§VI-C4):
+  /// factors greedily assigned largest-cost-first to the least-loaded
+  /// worker, balancing the eigendecomposition stage.
+  kSizeBalanced,
+};
+
+struct KfacOptions {
+  /// Learning rate of the wrapped optimizer — enters the ν rescale (Eq 18).
+  float lr = 0.1f;
+  /// Tikhonov damping γ (Eq 11). The paper uses 0.001 for ImageNet runs.
+  float damping = 0.001f;
+  /// Running-average weight ξ for factor accumulation (Eqs 16–17).
+  float factor_decay = 0.95f;
+  /// κ in the gradient rescaling (Eq 18).
+  float kl_clip = 0.001f;
+
+  /// Iterations between factor computation + allreduce. The paper finds
+  /// factors can refresh 10× more often than eigendecompositions (§V-C).
+  int factor_update_freq = 1;
+  /// Iterations between eigendecomposition refresh + allgather — the
+  /// paper's `kfac-update-freq`.
+  int inv_update_freq = 10;
+
+  InverseMethod inverse_method = InverseMethod::kEigenDecomposition;
+  DistributionStrategy strategy = DistributionStrategy::kFactorWise;
+
+  /// π-corrected damping split for the explicit-inverse path (Martens &
+  /// Grosse; used by the paper's reference [6]): instead of adding γ to
+  /// each factor, add π·√γ to A and √γ/π to G with
+  /// π = sqrt( (tr(A)/dim_A) / (tr(G)/dim_G) ), which matches the norm of
+  /// the damped Kronecker product to γ·I much more closely. No effect on
+  /// the eigendecomposition path (which damps the product spectrum
+  /// directly and needs no split).
+  bool pi_damping = false;
+
+  /// Communication-reduction extension (the paper's §VII future work):
+  /// keep only the top ⌈fraction·n⌉ eigenpairs of each factor. Dropped
+  /// directions are treated as zero-eigenvalue, which Eqs 13–15 absorb
+  /// into a 1/γ correction; payload per factor shrinks from n²+n to
+  /// k·n+k. 1.0 = exact (default).
+  float eigen_rank_fraction = 1.0f;
+
+  /// Sets both frequencies from the paper's single knob: eigendecompositions
+  /// every `freq`, factors every `freq/10` (min 1).
+  KfacOptions& with_update_freq(int freq) {
+    DKFAC_CHECK(freq >= 1);
+    inv_update_freq = freq;
+    factor_update_freq = std::max(1, freq / 10);
+    return *this;
+  }
+
+  void validate() const {
+    DKFAC_CHECK(lr > 0.0f);
+    DKFAC_CHECK(damping > 0.0f) << "K-FAC requires positive damping";
+    DKFAC_CHECK(factor_decay > 0.0f && factor_decay <= 1.0f);
+    DKFAC_CHECK(kl_clip > 0.0f);
+    DKFAC_CHECK(factor_update_freq >= 1 && inv_update_freq >= 1);
+    DKFAC_CHECK(eigen_rank_fraction > 0.0f && eigen_rank_fraction <= 1.0f)
+        << "eigen_rank_fraction must be in (0, 1]";
+    DKFAC_CHECK(inv_update_freq % factor_update_freq == 0)
+        << "eigendecomposition interval (" << inv_update_freq
+        << ") must be a multiple of the factor interval (" << factor_update_freq
+        << ") so updates always see fresh factors";
+  }
+};
+
+}  // namespace dkfac::kfac

@@ -1,0 +1,395 @@
+#include "core/preconditioner.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+
+namespace dkfac::kfac {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+KfacPreconditioner::KfacPreconditioner(nn::Layer& model, comm::Communicator& comm,
+                                       KfacOptions options)
+    : model_(model), comm_(comm), options_(options) {
+  options_.validate();
+  for (nn::KfacCapturable* layer : model_.kfac_layers()) {
+    LayerState state;
+    state.layer = layer;
+    state.a.dim = layer->kfac_a_dim();
+    state.g.dim = layer->kfac_g_dim();
+    layers_.push_back(std::move(state));
+    factor_dims_.push_back(layer->kfac_a_dim());
+    factor_dims_.push_back(layer->kfac_g_dim());
+  }
+  DKFAC_CHECK(!layers_.empty())
+      << "model contains no K-FAC-eligible (Linear/Conv2d) layers";
+  assignment_ = make_assignment(options_.strategy, factor_dims_, comm_.size());
+}
+
+void KfacPreconditioner::set_damping(float damping) {
+  DKFAC_CHECK(damping > 0.0f);
+  options_.damping = damping;
+}
+
+void KfacPreconditioner::set_lr(float lr) {
+  DKFAC_CHECK(lr > 0.0f);
+  options_.lr = lr;
+}
+
+void KfacPreconditioner::set_update_freqs(int factor_update_freq,
+                                          int inv_update_freq) {
+  options_.factor_update_freq = factor_update_freq;
+  options_.inv_update_freq = inv_update_freq;
+  options_.validate();
+}
+
+void KfacPreconditioner::step() {
+  report_ = {};
+
+  if (iteration_ % options_.factor_update_freq == 0) {
+    const auto start = Clock::now();
+    update_factors();
+    report_.factors_updated = true;
+    report_.factor_seconds = seconds_since(start);
+  }
+
+  if (iteration_ % options_.inv_update_freq == 0) {
+    const auto start = Clock::now();
+    update_decompositions();
+    report_.decompositions_updated = true;
+    report_.decomposition_seconds = seconds_since(start);
+  }
+
+  {
+    const auto start = Clock::now();
+    if (options_.strategy == DistributionStrategy::kLayerWise) {
+      precondition_layer_wise();
+    } else {
+      precondition_factor_wise();
+    }
+    report_.precondition_seconds = seconds_since(start);
+  }
+
+  ++iteration_;
+}
+
+void KfacPreconditioner::update_factors() {
+  // Local factor estimates folded into running averages (Eqs 16–17).
+  const float xi = options_.factor_decay;
+  for (LayerState& state : layers_) {
+    Tensor a_new = state.layer->kfac_a_factor();
+    Tensor g_new = state.layer->kfac_g_factor();
+    if (!state.a.have_cov) {
+      state.a.cov = std::move(a_new);
+      state.g.cov = std::move(g_new);
+      state.a.have_cov = state.g.have_cov = true;
+    } else {
+      state.a.cov.lerp_(1.0f - xi, xi, a_new);
+      state.g.cov.lerp_(1.0f - xi, xi, g_new);
+    }
+  }
+
+  // Allreduce all factors in one fused buffer (Horovod fusion-buffer
+  // style) — Algorithm 1 line 8.
+  int64_t total = 0;
+  for (int64_t d : factor_dims_) total += d * d;
+  std::vector<float> fused(static_cast<size_t>(total));
+  int64_t offset = 0;
+  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    const Tensor& cov = factor(f).cov;
+    std::copy(cov.data(), cov.data() + cov.numel(), fused.data() + offset);
+    offset += cov.numel();
+  }
+  comm_.allreduce(fused, comm::ReduceOp::kAverage);
+  offset = 0;
+  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    Tensor& cov = factor(f).cov;
+    std::copy(fused.data() + offset, fused.data() + offset + cov.numel(),
+              cov.data());
+    offset += cov.numel();
+  }
+}
+
+void KfacPreconditioner::decompose_factor(FactorState& state) const {
+  DKFAC_CHECK(state.have_cov) << "decomposition requested before factors exist";
+  if (options_.inverse_method == InverseMethod::kEigenDecomposition) {
+    linalg::SymEig eig = linalg::sym_eig(state.cov);
+    // Factors are PSD up to FP32 rounding; negative noise would make the
+    // (υ_G υ_Aᵀ + γ) denominator lose positivity.
+    eig.values.clamp_min_(0.0f);
+    const int64_t kept = kept_rank(state.dim);
+    if (kept < state.dim) {
+      // Keep the top-`kept` eigenpairs (sym_eig sorts ascending, so the
+      // last columns). Dropped directions behave as zero eigenvalues.
+      Tensor q(Shape{state.dim, kept});
+      Tensor lam(Shape{kept});
+      const int64_t offset = state.dim - kept;
+      for (int64_t i = 0; i < state.dim; ++i) {
+        for (int64_t j = 0; j < kept; ++j) {
+          q.at(i, j) = eig.vectors.at(i, offset + j);
+        }
+      }
+      for (int64_t j = 0; j < kept; ++j) lam[j] = eig.values[offset + j];
+      state.q = std::move(q);
+      state.lam = std::move(lam);
+    } else {
+      state.q = std::move(eig.vectors);
+      state.lam = std::move(eig.values);
+    }
+  } else {
+    Tensor damped = state.cov;
+    float gamma = options_.damping;
+    if (options_.pi_damping) {
+      // π-split: this factor's share of √γ is proportional to its average
+      // eigenvalue (trace/dim). `pi_partner_trace_mean` holds the other
+      // factor's trace/dim, stashed by update_decompositions().
+      const float own = factor_trace_mean(state.cov);
+      const float partner = state.pi_partner_trace_mean;
+      DKFAC_CHECK(partner > 0.0f) << "π-damping requires partner trace";
+      const float pi = std::sqrt(std::max(own, 1e-12f) / partner);
+      gamma = std::sqrt(options_.damping) * pi;
+    }
+    linalg::add_diagonal(damped, gamma);
+    state.q = linalg::spd_inverse(damped);
+    state.lam = Tensor(Shape{0});
+  }
+  state.have_decomp = true;
+}
+
+float KfacPreconditioner::factor_trace_mean(const Tensor& cov) {
+  const int64_t n = cov.dim(0);
+  double trace = 0.0;
+  for (int64_t i = 0; i < n; ++i) trace += cov.at(i, i);
+  return std::max(static_cast<float>(trace / std::max<int64_t>(n, 1)), 1e-12f);
+}
+
+int64_t KfacPreconditioner::kept_rank(int64_t dim) const {
+  if (options_.inverse_method != InverseMethod::kEigenDecomposition ||
+      options_.eigen_rank_fraction >= 1.0f) {
+    return dim;
+  }
+  const auto kept = static_cast<int64_t>(
+      std::ceil(options_.eigen_rank_fraction * static_cast<float>(dim)));
+  return std::max<int64_t>(1, std::min(kept, dim));
+}
+
+int64_t KfacPreconditioner::decomp_payload(int64_t dim) const {
+  if (options_.inverse_method != InverseMethod::kEigenDecomposition) {
+    return dim * dim;  // inverse matrix only
+  }
+  const int64_t kept = kept_rank(dim);
+  return dim * kept + kept;  // truncated Q and Λ
+}
+
+void KfacPreconditioner::update_decompositions() {
+  const int rank = comm_.rank();
+  if (options_.pi_damping &&
+      options_.inverse_method == InverseMethod::kExplicitInverse) {
+    // Every rank has both covariances (they are allreduced), so the π
+    // split is computable wherever the factor is decomposed.
+    for (LayerState& state : layers_) {
+      state.a.pi_partner_trace_mean = factor_trace_mean(state.g.cov);
+      state.g.pi_partner_trace_mean = factor_trace_mean(state.a.cov);
+    }
+  }
+  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    if (assignment_.owner[static_cast<size_t>(f)] == rank) {
+      decompose_factor(factor(f));
+    }
+  }
+  // K-FAC-lw keeps decompositions on the owner and exchanges preconditioned
+  // gradients instead (every iteration); K-FAC-opt shares decompositions
+  // now so preconditioning is local forever after (Algorithm 1 line 18).
+  if (options_.strategy != DistributionStrategy::kLayerWise) {
+    exchange_decompositions();
+  }
+}
+
+void KfacPreconditioner::exchange_decompositions() {
+  if (comm_.size() == 1) return;
+  const int rank = comm_.rank();
+
+  // Pack owned decompositions in ascending factor order.
+  std::vector<float> send;
+  for (int64_t f : assignment_.owned_by(rank)) {
+    const FactorState& state = factor(f);
+    DKFAC_CHECK(state.have_decomp);
+    send.insert(send.end(), state.q.data(), state.q.data() + state.q.numel());
+    if (options_.inverse_method == InverseMethod::kEigenDecomposition) {
+      send.insert(send.end(), state.lam.data(),
+                  state.lam.data() + state.lam.numel());
+    }
+  }
+
+  const std::vector<float> gathered = comm_.allgather(send);
+
+  // Unpack rank by rank; each rank's segment holds its owned factors in
+  // ascending order, so the layout is fully determined by the assignment.
+  size_t offset = 0;
+  for (int r = 0; r < comm_.size(); ++r) {
+    for (int64_t f : assignment_.owned_by(r)) {
+      FactorState& state = factor(f);
+      const int64_t d = state.dim;
+      if (r == rank) {
+        offset += static_cast<size_t>(decomp_payload(d));
+        continue;  // already have our own
+      }
+      DKFAC_CHECK(offset + static_cast<size_t>(decomp_payload(d)) <=
+                  gathered.size())
+          << "decomposition gather underflow";
+      const int64_t kept = kept_rank(d);
+      state.q = Tensor(Shape{d, options_.inverse_method ==
+                                     InverseMethod::kEigenDecomposition
+                                 ? kept
+                                 : d});
+      std::copy(gathered.data() + offset,
+                gathered.data() + offset + state.q.numel(), state.q.data());
+      offset += static_cast<size_t>(state.q.numel());
+      if (options_.inverse_method == InverseMethod::kEigenDecomposition) {
+        state.lam = Tensor(Shape{kept});
+        std::copy(gathered.data() + offset, gathered.data() + offset + kept,
+                  state.lam.data());
+        offset += static_cast<size_t>(kept);
+      }
+      state.have_decomp = true;
+    }
+  }
+  DKFAC_CHECK(offset == gathered.size()) << "decomposition gather leftover";
+}
+
+Tensor KfacPreconditioner::precondition_layer(const LayerState& state,
+                                              const Tensor& grad) const {
+  DKFAC_CHECK(state.a.have_decomp && state.g.have_decomp)
+      << state.layer->kfac_name() << ": preconditioning before decompositions";
+  using linalg::matmul;
+  using linalg::Trans;
+
+  if (options_.inverse_method == InverseMethod::kExplicitInverse) {
+    // Eq 12: (G+γI)⁻¹ · ∇L · (A+γI)⁻¹.
+    return matmul(matmul(state.g.q, grad), state.a.q);
+  }
+
+  // Eqs 13–15. grad is [g_dim, a_dim]; Q matrices may be rank-truncated
+  // (columns = kept eigenvectors).
+  const float gamma = options_.damping;
+  const int64_t kg = state.g.lam.dim(0);
+  const int64_t ka = state.a.lam.dim(0);
+  Tensor v1 = matmul(matmul(state.g.q, grad, Trans::kYes, Trans::kNo), state.a.q);
+  Tensor v2 = v1;
+  for (int64_t i = 0; i < kg; ++i) {
+    for (int64_t j = 0; j < ka; ++j) {
+      v2.at(i, j) /= state.g.lam[i] * state.a.lam[j] + gamma;
+    }
+  }
+  if (kg == state.g.dim && ka == state.a.dim) {
+    return matmul(matmul(state.g.q, v2), state.a.q, Trans::kNo, Trans::kYes);
+  }
+  // Truncated case: dropped eigendirections act as zero eigenvalues, so
+  // every (i, j) pair outside the kept block has coefficient 1/γ:
+  //   P = grad/γ + Q_G (V2 − V1/γ) Q_Aᵀ.
+  Tensor correction = v2;
+  correction.axpy_(-1.0f / gamma, v1);
+  Tensor p = matmul(matmul(state.g.q, correction), state.a.q, Trans::kNo,
+                    Trans::kYes);
+  p.axpy_(1.0f / gamma, grad);
+  return p;
+}
+
+float KfacPreconditioner::grad_scale(const std::vector<Tensor>& preconditioned,
+                                     const std::vector<Tensor>& original) const {
+  // Eq 18: ν = min(1, sqrt(κ / (α² Σᵢ Gᵢᵀ∇Lᵢ))).
+  double vg_sum = 0.0;
+  const double lr2 = static_cast<double>(options_.lr) * options_.lr;
+  for (size_t i = 0; i < preconditioned.size(); ++i) {
+    vg_sum += lr2 * preconditioned[i].dot(original[i]);
+  }
+  if (vg_sum <= 0.0) return 1.0f;
+  return std::min(1.0f, static_cast<float>(std::sqrt(options_.kl_clip / vg_sum)));
+}
+
+void KfacPreconditioner::precondition_factor_wise() {
+  // Algorithm 1 step 3: every rank preconditions every layer locally.
+  std::vector<Tensor> preconditioned;
+  std::vector<Tensor> original;
+  preconditioned.reserve(layers_.size());
+  original.reserve(layers_.size());
+  for (LayerState& state : layers_) {
+    Tensor grad = state.layer->kfac_grad();
+    preconditioned.push_back(precondition_layer(state, grad));
+    original.push_back(std::move(grad));
+  }
+  const float nu = grad_scale(preconditioned, original);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    preconditioned[i].scale_(nu);
+    layers_[i].layer->set_kfac_grad(preconditioned[i]);
+  }
+}
+
+void KfacPreconditioner::precondition_layer_wise() {
+  // K-FAC-lw: layer owners precondition, then everyone receives the
+  // preconditioned gradients — this exchange happens EVERY iteration,
+  // which is exactly the communication the factor-wise scheme avoids.
+  const int rank = comm_.rank();
+  std::vector<Tensor> original;
+  original.reserve(layers_.size());
+  for (LayerState& state : layers_) {
+    original.push_back(state.layer->kfac_grad());
+  }
+
+  std::vector<float> send;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    // Factor 2l's owner owns the layer (layer-wise assignment pairs both
+    // factors on one rank).
+    if (assignment_.owner[2 * l] != rank) continue;
+    const Tensor p = precondition_layer(layers_[l], original[l]);
+    send.insert(send.end(), p.data(), p.data() + p.numel());
+  }
+
+  std::vector<Tensor> preconditioned(layers_.size());
+  if (comm_.size() == 1) {
+    size_t offset = 0;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const int64_t count = layers_[l].g.dim * layers_[l].a.dim;
+      preconditioned[l] = Tensor(Shape{layers_[l].g.dim, layers_[l].a.dim});
+      std::copy(send.data() + offset, send.data() + offset + count,
+                preconditioned[l].data());
+      offset += static_cast<size_t>(count);
+    }
+  } else {
+    const std::vector<float> gathered = comm_.allgather(send);
+    size_t offset = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        if (assignment_.owner[2 * l] != r) continue;
+        const int64_t count = layers_[l].g.dim * layers_[l].a.dim;
+        DKFAC_CHECK(offset + static_cast<size_t>(count) <= gathered.size())
+            << "layer-wise gather underflow";
+        preconditioned[l] = Tensor(Shape{layers_[l].g.dim, layers_[l].a.dim});
+        std::copy(gathered.data() + offset, gathered.data() + offset + count,
+                  preconditioned[l].data());
+        offset += static_cast<size_t>(count);
+      }
+    }
+    DKFAC_CHECK(offset == gathered.size()) << "layer-wise gather leftover";
+  }
+
+  const float nu = grad_scale(preconditioned, original);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    preconditioned[l].scale_(nu);
+    layers_[l].layer->set_kfac_grad(preconditioned[l]);
+  }
+}
+
+}  // namespace dkfac::kfac

@@ -1,0 +1,128 @@
+// KfacPreconditioner — the paper's contribution (§IV, Algorithm 1).
+//
+// Acts as a gradient preconditioner between backward() + gradient
+// allreduce and the wrapped optimizer's step(), exactly as in the paper's
+// Listing 1:
+//
+//     loss.backward();
+//     comm.allreduce(gradients);          // optimizer.synchronize()
+//     preconditioner.step(epoch);         // KFAC.step()  <-- this class
+//     sgd.step();                         // optimizer.step()
+//
+// Responsibilities per step (Algorithm 1):
+//   1. every `factor_update_freq` iterations: recompute Kronecker factors
+//      from the layer hooks, fold into running averages (Eqs 16–17), and
+//      allreduce them (one fused buffer, Horovod-style);
+//   2. every `inv_update_freq` iterations: eigendecompose (or explicitly
+//      invert) the factors this rank owns under the distribution strategy,
+//      then allgather the decompositions (K-FAC-opt) — or nothing
+//      (K-FAC-lw, which instead exchanges preconditioned gradients each
+//      iteration);
+//   3. every iteration: precondition gradients (Eqs 13–15 or Eq 11),
+//      rescale by ν (Eq 18), and write back into the layer gradients.
+//
+// In skip iterations K-FAC-opt performs no communication at all — the
+// property that drives its scaling advantage (paper §IV-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/assignment.hpp"
+#include "core/options.hpp"
+#include "nn/layer.hpp"
+
+namespace dkfac::kfac {
+
+class KfacPreconditioner {
+ public:
+  /// Discovers K-FAC-eligible layers (Linear, Conv2d) in `model`. Layers
+  /// of other types are ignored and updated normally by the wrapped
+  /// optimizer. `comm` must outlive the preconditioner.
+  KfacPreconditioner(nn::Layer& model, comm::Communicator& comm,
+                     KfacOptions options);
+
+  /// Preconditions the current gradients in place. Call once per training
+  /// iteration, after gradients are averaged across ranks.
+  void step();
+
+  // ---- schedule hooks ----------------------------------------------------
+
+  /// Damping decay (paper §V-C): the trainer lowers γ at fixed epochs.
+  void set_damping(float damping);
+  /// Keeps ν (Eq 18) consistent when the LR schedule changes the rate.
+  void set_lr(float lr);
+  /// Update-frequency decay (paper §V-C).
+  void set_update_freqs(int factor_update_freq, int inv_update_freq);
+
+  // ---- introspection -------------------------------------------------------
+
+  int64_t iteration() const { return iteration_; }
+  const KfacOptions& options() const { return options_; }
+  const WorkAssignment& assignment() const { return assignment_; }
+  size_t layer_count() const { return layers_.size(); }
+  /// Flattened factor dimensions (A₀, G₁, A₁, G₂, ...).
+  const std::vector<int64_t>& factor_dims() const { return factor_dims_; }
+
+  struct StepReport {
+    bool factors_updated = false;
+    bool decompositions_updated = false;
+    double factor_seconds = 0.0;
+    double decomposition_seconds = 0.0;
+    double precondition_seconds = 0.0;
+  };
+  const StepReport& last_report() const { return report_; }
+
+ private:
+  struct FactorState {
+    int64_t dim = 0;
+    Tensor cov;   // running-average Kronecker factor
+    Tensor q;     // eigenvectors (eigen path) or (X+γI)⁻¹ (inverse path)
+    Tensor lam;   // eigenvalues (eigen path only)
+    bool have_cov = false;
+    bool have_decomp = false;
+    /// Partner factor's trace/dim, for the π-damping split.
+    float pi_partner_trace_mean = 0.0f;
+  };
+
+  struct LayerState {
+    nn::KfacCapturable* layer = nullptr;
+    FactorState a;
+    FactorState g;
+  };
+
+  FactorState& factor(int64_t f) {
+    return (f % 2 == 0) ? layers_[static_cast<size_t>(f / 2)].a
+                        : layers_[static_cast<size_t>(f / 2)].g;
+  }
+
+  void update_factors();
+  void update_decompositions();
+  void decompose_factor(FactorState& state) const;
+  /// trace(cov)/dim, floored away from zero (π-damping input).
+  static float factor_trace_mean(const Tensor& cov);
+  /// Eigenpairs kept for a factor of size `dim` (rank truncation).
+  int64_t kept_rank(int64_t dim) const;
+  /// Floats needed to publish one factor's decomposition.
+  int64_t decomp_payload(int64_t dim) const;
+  void exchange_decompositions();
+  Tensor precondition_layer(const LayerState& state, const Tensor& grad) const;
+  void precondition_factor_wise();
+  void precondition_layer_wise();
+  /// ν from Eq 18 given per-layer (preconditioned, original) pairs.
+  float grad_scale(const std::vector<Tensor>& preconditioned,
+                   const std::vector<Tensor>& original) const;
+
+  nn::Layer& model_;
+  comm::Communicator& comm_;
+  KfacOptions options_;
+  std::vector<LayerState> layers_;
+  std::vector<int64_t> factor_dims_;
+  WorkAssignment assignment_;
+  int64_t iteration_ = 0;
+  StepReport report_;
+};
+
+}  // namespace dkfac::kfac

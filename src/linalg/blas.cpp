@@ -1,0 +1,175 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac::linalg {
+
+namespace {
+
+struct MatView {
+  const float* data;
+  int64_t rows;
+  int64_t cols;
+  // Logical element (r, c) after applying the transpose flag.
+  float operator()(int64_t r, int64_t c) const { return data[r * cols + c]; }
+};
+
+void check_rank2(const Tensor& t, const char* name) {
+  DKFAC_CHECK(t.ndim() == 2) << name << " must be rank-2, got " << t.shape();
+}
+
+}  // namespace
+
+void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
+          Trans trans_b, float beta, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  check_rank2(c, "C");
+  const int64_t m = trans_a == Trans::kNo ? a.dim(0) : a.dim(1);
+  const int64_t k = trans_a == Trans::kNo ? a.dim(1) : a.dim(0);
+  const int64_t kb = trans_b == Trans::kNo ? b.dim(0) : b.dim(1);
+  const int64_t n = trans_b == Trans::kNo ? b.dim(1) : b.dim(0);
+  DKFAC_CHECK(k == kb) << "gemm inner dim mismatch: " << k << " vs " << kb;
+  DKFAC_CHECK(c.dim(0) == m && c.dim(1) == n)
+      << "gemm output shape " << c.shape() << " expected [" << m << ", " << n << "]";
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const int64_t lda = a.dim(1);
+  const int64_t ldb = b.dim(1);
+
+  if (beta != 1.0f) {
+    if (beta == 0.0f) {
+      c.zero_();
+    } else {
+      c.scale_(beta);
+    }
+  }
+
+  // Row-panel parallel, k-inner loop ordered for contiguous B access in the
+  // NN/NT-free cases; transposed operands fall back to strided reads.
+  constexpr int64_t kBlock = 64;
+#pragma omp parallel for schedule(static)
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const int64_t i1 = std::min(i0 + kBlock, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const int64_t k1 = std::min(k0 + kBlock, k);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float aval =
+              alpha * (trans_a == Trans::kNo ? pa[i * lda + kk] : pa[kk * lda + i]);
+          if (aval == 0.0f) continue;
+          if (trans_b == Trans::kNo) {
+            const float* brow = pb + kk * ldb;
+            for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+          } else {
+            const float* bcol = pb + kk;  // stride ldb over j
+            for (int64_t j = 0; j < n; ++j) crow[j] += aval * bcol[j * ldb];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
+  check_rank2(a, "A");
+  check_rank2(b, "B");
+  const int64_t m = trans_a == Trans::kNo ? a.dim(0) : a.dim(1);
+  const int64_t n = trans_b == Trans::kNo ? b.dim(1) : b.dim(0);
+  Tensor c(Shape{m, n});
+  gemm(1.0f, a, trans_a, b, trans_b, 0.0f, c);
+  return c;
+}
+
+void gemv(float alpha, const Tensor& a, Trans trans_a, const Tensor& x,
+          float beta, Tensor& y) {
+  check_rank2(a, "A");
+  DKFAC_CHECK(x.ndim() == 1 && y.ndim() == 1) << "gemv needs rank-1 x and y";
+  const int64_t m = trans_a == Trans::kNo ? a.dim(0) : a.dim(1);
+  const int64_t k = trans_a == Trans::kNo ? a.dim(1) : a.dim(0);
+  DKFAC_CHECK(x.dim(0) == k) << "gemv x length " << x.dim(0) << " expected " << k;
+  DKFAC_CHECK(y.dim(0) == m) << "gemv y length " << y.dim(0) << " expected " << m;
+
+  const int64_t lda = a.dim(1);
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      const float aij =
+          trans_a == Trans::kNo ? a.data()[i * lda + j] : a.data()[j * lda + i];
+      acc += static_cast<double>(aij) * x[j];
+    }
+    y[i] = alpha * static_cast<float>(acc) + beta * y[i];
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "A");
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out(Shape{n, m});
+  constexpr int64_t kBlock = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+      const int64_t i1 = std::min(i0 + kBlock, m);
+      const int64_t j1 = std::min(j0 + kBlock, n);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = j0; j < j1; ++j) {
+          out.data()[j * m + i] = a.data()[i * n + j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void symmetrize(Tensor& a) {
+  check_rank2(a, "A");
+  DKFAC_CHECK(a.dim(0) == a.dim(1)) << "symmetrize needs square, got " << a.shape();
+  const int64_t n = a.dim(0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float v = 0.5f * (a.at(i, j) + a.at(j, i));
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+}
+
+void add_diagonal(Tensor& a, float gamma) {
+  check_rank2(a, "A");
+  DKFAC_CHECK(a.dim(0) == a.dim(1)) << "add_diagonal needs square, got " << a.shape();
+  const int64_t n = a.dim(0);
+  for (int64_t i = 0; i < n; ++i) a.at(i, i) += gamma;
+}
+
+float asymmetry(const Tensor& a) {
+  check_rank2(a, "A");
+  DKFAC_CHECK(a.dim(0) == a.dim(1));
+  const int64_t n = a.dim(0);
+  float m = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      m = std::max(m, std::abs(a.at(i, j) - a.at(j, i)));
+    }
+  }
+  return m;
+}
+
+float frobenius_distance(const Tensor& a, const Tensor& b) {
+  DKFAC_CHECK(a.shape() == b.shape())
+      << "frobenius_distance shapes " << a.shape() << " vs " << b.shape();
+  double total = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+}  // namespace dkfac::linalg

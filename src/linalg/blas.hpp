@@ -1,0 +1,43 @@
+// Dense BLAS-like kernels on row-major FP32 matrices.
+//
+// These are the compute primitives behind factor accumulation (A = aᵀa),
+// gradient preconditioning (Eqs 13–15), and the conv/linear layers. GEMM is
+// cache-blocked and OpenMP-parallel over row panels.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dkfac::linalg {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) @ op(B) + beta * C.
+/// All matrices are rank-2 row-major tensors; shapes are checked.
+void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
+          Trans trans_b, float beta, Tensor& c);
+
+/// Returns op(A) @ op(B) as a fresh tensor.
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
+              Trans trans_b = Trans::kNo);
+
+/// y = alpha * op(A) @ x + beta * y, with x, y rank-1.
+void gemv(float alpha, const Tensor& a, Trans trans_a, const Tensor& x,
+          float beta, Tensor& y);
+
+/// Returns Aᵀ for a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+/// A := (A + Aᵀ)/2; requires a square rank-2 tensor. Keeps accumulated
+/// Kronecker factors exactly symmetric despite FP32 rounding.
+void symmetrize(Tensor& a);
+
+/// A := A + gamma * I (Tikhonov damping, Eq 11); requires square rank-2.
+void add_diagonal(Tensor& a, float gamma);
+
+/// Max |A - Aᵀ| over all entries; 0 for exactly symmetric matrices.
+float asymmetry(const Tensor& a);
+
+/// Frobenius norm of (A - B).
+float frobenius_distance(const Tensor& a, const Tensor& b);
+
+}  // namespace dkfac::linalg

@@ -1,0 +1,105 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac::linalg {
+
+namespace {
+
+void check_square(const Tensor& a, const char* who) {
+  DKFAC_CHECK(a.ndim() == 2 && a.dim(0) == a.dim(1))
+      << who << " needs a square matrix, got " << a.shape();
+}
+
+}  // namespace
+
+Tensor cholesky(const Tensor& a) {
+  check_square(a, "cholesky");
+  const int64_t n = a.dim(0);
+  // Factor in double: K-FAC covariance factors can have condition numbers
+  // near 1/γ, where FP32 pivots lose positivity.
+  std::vector<double> l(static_cast<size_t>(n * n), 0.0);
+  auto L = [&](int64_t i, int64_t j) -> double& { return l[i * n + j]; };
+
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (int64_t k = 0; k < j; ++k) diag -= L(j, k) * L(j, k);
+    DKFAC_CHECK(diag > 0.0) << "matrix not positive definite at pivot " << j
+                            << " (value " << diag << ")";
+    const double ljj = std::sqrt(diag);
+    L(j, j) = ljj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (int64_t k = 0; k < j; ++k) v -= L(i, k) * L(j, k);
+      L(i, j) = v / ljj;
+    }
+  }
+
+  Tensor out(Shape{n, n});
+  for (int64_t i = 0; i < n * n; ++i) out[i] = static_cast<float>(l[static_cast<size_t>(i)]);
+  return out;
+}
+
+Tensor solve_lower(const Tensor& l, const Tensor& b) {
+  check_square(l, "solve_lower");
+  const int64_t n = l.dim(0);
+  DKFAC_CHECK(b.ndim() <= 2 && b.dim(0) == n)
+      << "rhs shape " << b.shape() << " incompatible with L of size " << n;
+  const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
+  Tensor x = b;
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      double v = x[i * cols + c];
+      for (int64_t k = 0; k < i; ++k) {
+        v -= static_cast<double>(l.at(i, k)) * x[k * cols + c];
+      }
+      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+    }
+  }
+  return x;
+}
+
+Tensor solve_lower_transposed(const Tensor& l, const Tensor& b) {
+  check_square(l, "solve_lower_transposed");
+  const int64_t n = l.dim(0);
+  DKFAC_CHECK(b.ndim() <= 2 && b.dim(0) == n)
+      << "rhs shape " << b.shape() << " incompatible with L of size " << n;
+  const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
+  Tensor x = b;
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double v = x[i * cols + c];
+      for (int64_t k = i + 1; k < n; ++k) {
+        v -= static_cast<double>(l.at(k, i)) * x[k * cols + c];
+      }
+      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+    }
+  }
+  return x;
+}
+
+Tensor spd_solve(const Tensor& a, const Tensor& b) {
+  const Tensor l = cholesky(a);
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+Tensor spd_inverse(const Tensor& a) {
+  check_square(a, "spd_inverse");
+  const int64_t n = a.dim(0);
+  const Tensor l = cholesky(a);
+  Tensor inv = solve_lower_transposed(l, solve_lower(l, Tensor::eye(n)));
+  // Enforce symmetry lost to rounding in the two triangular solves.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float v = 0.5f * (inv.at(i, j) + inv.at(j, i));
+      inv.at(i, j) = v;
+      inv.at(j, i) = v;
+    }
+  }
+  return inv;
+}
+
+}  // namespace dkfac::linalg

@@ -1,0 +1,29 @@
+// Cholesky factorisation and SPD inverse.
+//
+// This is the *explicit inverse* path of the paper's §IV-A comparison
+// (Table I): (A + γI)⁻¹ computed directly, as opposed to the implicit
+// eigendecomposition path. The paper shows this path degrades validation
+// accuracy at large batch sizes; we keep it to reproduce that comparison.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dkfac::linalg {
+
+/// Lower-triangular L with A = L·Lᵀ. Throws dkfac::Error when `a` is not
+/// positive definite (non-positive pivot).
+Tensor cholesky(const Tensor& a);
+
+/// Inverse of an SPD matrix via Cholesky: A⁻¹ = L⁻ᵀ·L⁻¹.
+Tensor spd_inverse(const Tensor& a);
+
+/// Solve L·x = b with L lower-triangular (forward substitution).
+Tensor solve_lower(const Tensor& l, const Tensor& b);
+
+/// Solve Lᵀ·x = b with L lower-triangular (backward substitution).
+Tensor solve_lower_transposed(const Tensor& l, const Tensor& b);
+
+/// Solve A·x = b for SPD A.
+Tensor spd_solve(const Tensor& a, const Tensor& b);
+
+}  // namespace dkfac::linalg

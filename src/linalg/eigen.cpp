@@ -1,0 +1,303 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace dkfac::linalg {
+
+namespace {
+
+double hypot2(double x, double y) { return std::sqrt(x * x + y * y); }
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On entry `v` holds the symmetric matrix (row-major, n×n, double). On exit
+// `v` holds the accumulated orthogonal transform, `d` the diagonal and `e`
+// the subdiagonal (e[0] unused). Translated from the public-domain EISPACK
+// routine tred2.
+void tred2(std::vector<double>& v, std::vector<double>& d,
+           std::vector<double>& e, int64_t n) {
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+
+  for (int64_t j = 0; j < n; ++j) d[j] = V(n - 1, j);
+
+  for (int64_t i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (int64_t k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (int64_t j = 0; j < i; ++j) {
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+        V(j, i) = 0.0;
+      }
+    } else {
+      for (int64_t k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (int64_t j = 0; j < i; ++j) e[j] = 0.0;
+
+      for (int64_t j = 0; j < i; ++j) {
+        f = d[j];
+        V(j, i) = f;
+        g = e[j] + V(j, j) * f;
+        for (int64_t k = j + 1; k <= i - 1; ++k) {
+          g += V(k, j) * d[k];
+          e[k] += V(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (int64_t j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (int64_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (int64_t j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (int64_t k = j; k <= i - 1; ++k) V(k, j) -= (f * e[k] + g * d[k]);
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  // Accumulate transformations.
+  for (int64_t i = 0; i < n - 1; ++i) {
+    V(n - 1, i) = V(i, i);
+    V(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (int64_t k = 0; k <= i; ++k) d[k] = V(k, i + 1) / h;
+      for (int64_t j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (int64_t k = 0; k <= i; ++k) g += V(k, i + 1) * V(k, j);
+        for (int64_t k = 0; k <= i; ++k) V(k, j) -= g * d[k];
+      }
+    }
+    for (int64_t k = 0; k <= i; ++k) V(k, i + 1) = 0.0;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    d[j] = V(n - 1, j);
+    V(n - 1, j) = 0.0;
+  }
+  V(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL iteration on the tridiagonal form produced by tred2,
+// accumulating eigenvectors into `v`. Translated from EISPACK tql2.
+void tql2(std::vector<double>& v, std::vector<double>& d,
+          std::vector<double>& e, int64_t n) {
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+
+  for (int64_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::pow(2.0, -52.0);
+  for (int64_t l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    int64_t m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        ++iter;
+        DKFAC_CHECK(iter <= 80) << "QL iteration failed to converge";
+
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = hypot2(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (int64_t i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = hypot2(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+
+          for (int64_t k = 0; k < n; ++k) {
+            h = V(k, i + 1);
+            V(k, i + 1) = s * V(k, i) + c * h;
+            V(k, i) = c * V(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns.
+  for (int64_t i = 0; i < n - 1; ++i) {
+    int64_t k = i;
+    double p = d[i];
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      for (int64_t j = 0; j < n; ++j) std::swap(V(j, i), V(j, k));
+    }
+  }
+}
+
+void check_square(const Tensor& a) {
+  DKFAC_CHECK(a.ndim() == 2 && a.dim(0) == a.dim(1))
+      << "sym_eig needs a square matrix, got " << a.shape();
+}
+
+}  // namespace
+
+SymEig sym_eig(const Tensor& a) {
+  check_square(a);
+  const int64_t n = a.dim(0);
+  SymEig out{Tensor(Shape{n}), Tensor(Shape{n, n})};
+  if (n == 0) return out;
+
+  // Symmetrised copy in double.
+  std::vector<double> v(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      v[static_cast<size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(a.at(i, j)) + a.at(j, i));
+    }
+  }
+  std::vector<double> d(static_cast<size_t>(n));
+  std::vector<double> e(static_cast<size_t>(n));
+  tred2(v, d, e, n);
+  tql2(v, d, e, n);
+
+  for (int64_t i = 0; i < n; ++i) out.values[i] = static_cast<float>(d[static_cast<size_t>(i)]);
+  for (int64_t i = 0; i < n * n; ++i) out.vectors[i] = static_cast<float>(v[static_cast<size_t>(i)]);
+  return out;
+}
+
+SymEig sym_eig_jacobi(const Tensor& a, int max_sweeps) {
+  check_square(a);
+  const int64_t n = a.dim(0);
+  SymEig out{Tensor(Shape{n}), Tensor::eye(n)};
+  if (n == 0) return out;
+
+  std::vector<double> m(static_cast<size_t>(n * n));
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i * n + i)] = 1.0;
+    for (int64_t j = 0; j < n; ++j) {
+      m[static_cast<size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(a.at(i, j)) + a.at(j, i));
+    }
+  }
+  auto M = [&](int64_t i, int64_t j) -> double& { return m[i * n + j]; };
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += M(p, q) * M(p, q);
+    }
+    if (off < 1e-24) break;
+
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        if (std::abs(M(p, q)) < 1e-300) continue;
+        const double theta = (M(q, q) - M(p, p)) / (2.0 * M(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          const double mkp = M(k, p);
+          const double mkq = M(k, q);
+          M(k, p) = c * mkp - s * mkq;
+          M(k, q) = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double mpk = M(p, k);
+          const double mqk = M(q, k);
+          M(p, k) = c * mpk - s * mqk;
+          M(q, k) = s * mpk + c * mqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p);
+          const double vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract diagonal and sort ascending, permuting columns with values.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return M(x, x) < M(y, y); });
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    out.values[j] = static_cast<float>(M(src, src));
+    for (int64_t i = 0; i < n; ++i) {
+      out.vectors.at(i, j) = static_cast<float>(V(i, src));
+    }
+  }
+  return out;
+}
+
+Tensor eig_reconstruct(const SymEig& eig) {
+  const int64_t n = eig.values.dim(0);
+  // V · diag(w): scale column j by w[j].
+  Tensor scaled = eig.vectors;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) scaled.at(i, j) *= eig.values[j];
+  }
+  return matmul(scaled, eig.vectors, Trans::kNo, Trans::kYes);
+}
+
+}  // namespace dkfac::linalg

@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition.
+//
+// K-FAC's inverse-free preconditioning path (paper §IV-A, Eqs 13–15)
+// requires the full eigendecomposition of each Kronecker factor. We
+// implement the classic dense pipeline from scratch:
+//
+//   1. Householder reduction to symmetric tridiagonal form (tred2), and
+//   2. implicit-shift QL iteration with eigenvector accumulation (tql2).
+//
+// Internals run in double precision; Kronecker factors are FP32
+// accumulations of rank-1 updates and are often near-singular, so the
+// extra precision is what keeps (υ_G υ_Aᵀ + λ) divisions stable.
+//
+// A cyclic Jacobi solver is also provided as an independent oracle for
+// property tests (both must agree on random SPD matrices).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dkfac::linalg {
+
+/// Result of a symmetric eigendecomposition: A = V · diag(values) · Vᵀ.
+/// `values` ascending; column j of `vectors` is the eigenvector of values[j].
+struct SymEig {
+  Tensor values;   // shape [n]
+  Tensor vectors;  // shape [n, n], eigenvectors in columns
+};
+
+/// Householder + implicit-shift QL. Requires a square symmetric rank-2
+/// tensor (asymmetry up to FP32 noise is tolerated; the upper triangle wins).
+SymEig sym_eig(const Tensor& a);
+
+/// Cyclic Jacobi rotations — O(n³) per sweep, slow but independently
+/// verifiable; used as a numerical oracle in tests.
+SymEig sym_eig_jacobi(const Tensor& a, int max_sweeps = 64);
+
+/// Reconstructs V · diag(values) · Vᵀ (for round-trip testing).
+Tensor eig_reconstruct(const SymEig& eig);
+
+}  // namespace dkfac::linalg

@@ -1,0 +1,17 @@
+#include "nn/activation.hpp"
+
+#include "common/error.hpp"
+
+namespace dkfac::nn {
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DKFAC_CHECK(static_cast<size_t>(grad_output.numel()) == mask_.size())
+      << name_ << ": backward before forward or shape changed";
+  Tensor dx = grad_output;
+  for (int64_t i = 0; i < dx.numel(); ++i) {
+    if (!mask_[static_cast<size_t>(i)]) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace dkfac::nn

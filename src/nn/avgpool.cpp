@@ -1,0 +1,84 @@
+#include "nn/avgpool.hpp"
+
+#include "common/error.hpp"
+#include "nn/conv2d.hpp"  // conv_out_size
+
+namespace dkfac::nn {
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride, int64_t padding,
+                     std::string name)
+    : kernel_(kernel), stride_(stride), padding_(padding), name_(std::move(name)) {
+  DKFAC_CHECK(kernel >= 1 && stride >= 1 && padding >= 0);
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  DKFAC_CHECK(x.ndim() == 4) << name_ << ": expects NCHW, got " << x.shape();
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = conv_out_size(h, kernel_, stride_, padding_);
+  const int64_t ow = conv_out_size(w, kernel_, stride_, padding_);
+  input_shape_ = x.shape();
+
+  // PyTorch's count_include_pad=True convention: divide by kernel².
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor y(Shape{n, c, oh, ow});
+#pragma omp parallel for schedule(static)
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = x.data() + (b * c + ch) * h * w;
+      for (int64_t r = 0; r < oh; ++r) {
+        for (int64_t col = 0; col < ow; ++col) {
+          double sum = 0.0;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t hh = r * stride_ - padding_ + kh;
+            if (hh < 0 || hh >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t ww = col * stride_ - padding_ + kw;
+              if (ww < 0 || ww >= w) continue;
+              sum += src[hh * w + ww];
+            }
+          }
+          y.data()[((b * c + ch) * oh + r) * ow + col] =
+              static_cast<float>(sum) * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  DKFAC_CHECK(input_shape_.ndim() == 4) << name_ << ": backward before forward";
+  const int64_t n = input_shape_[0], c = input_shape_[1], h = input_shape_[2],
+                w = input_shape_[3];
+  const int64_t oh = conv_out_size(h, kernel_, stride_, padding_);
+  const int64_t ow = conv_out_size(w, kernel_, stride_, padding_);
+  DKFAC_CHECK(grad_output.shape() == Shape({n, c, oh, ow}))
+      << name_ << ": grad shape " << grad_output.shape();
+
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor dx(input_shape_);
+#pragma omp parallel for schedule(static)
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* dst = dx.data() + (b * c + ch) * h * w;
+      for (int64_t r = 0; r < oh; ++r) {
+        for (int64_t col = 0; col < ow; ++col) {
+          const float g =
+              grad_output.data()[((b * c + ch) * oh + r) * ow + col] * inv;
+          for (int64_t kh = 0; kh < kernel_; ++kh) {
+            const int64_t hh = r * stride_ - padding_ + kh;
+            if (hh < 0 || hh >= h) continue;
+            for (int64_t kw = 0; kw < kernel_; ++kw) {
+              const int64_t ww = col * stride_ - padding_ + kw;
+              if (ww < 0 || ww >= w) continue;
+              dst[hh * w + ww] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace dkfac::nn

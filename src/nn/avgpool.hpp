@@ -1,0 +1,25 @@
+// Windowed average pooling (NCHW). Complements MaxPool2d/GlobalAvgPool.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dkfac::nn {
+
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride, int64_t padding = 0,
+            std::string name = "avgpool");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+  std::string name_;
+  Shape input_shape_{0};
+};
+
+}  // namespace dkfac::nn

@@ -1,0 +1,251 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "nn/init.hpp"
+
+namespace dkfac::nn {
+
+using linalg::gemm;
+using linalg::matmul;
+using linalg::Trans;
+
+int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+  DKFAC_CHECK(kernel >= 1 && stride >= 1 && padding >= 0);
+  const int64_t out = (in + 2 * padding - kernel) / stride + 1;
+  DKFAC_CHECK(out >= 1) << "conv output collapses: in=" << in << " k=" << kernel
+                        << " s=" << stride << " p=" << padding;
+  return out;
+}
+
+Tensor im2col(const Tensor& x, int64_t kernel, int64_t stride, int64_t padding) {
+  DKFAC_CHECK(x.ndim() == 4) << "im2col expects NCHW, got " << x.shape();
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = conv_out_size(h, kernel, stride, padding);
+  const int64_t ow = conv_out_size(w, kernel, stride, padding);
+  const int64_t patch_dim = c * kernel * kernel;
+
+  Tensor cols(Shape{n * oh * ow, patch_dim});
+#pragma omp parallel for schedule(static)
+  for (int64_t img = 0; img < n; ++img) {
+    const float* src = x.data() + img * c * h * w;
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        float* dst = cols.data() + ((img * oh + r) * ow + col) * patch_dim;
+        const int64_t h0 = r * stride - padding;
+        const int64_t w0 = col * stride - padding;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          for (int64_t kh = 0; kh < kernel; ++kh) {
+            const int64_t hh = h0 + kh;
+            for (int64_t kw = 0; kw < kernel; ++kw) {
+              const int64_t ww = w0 + kw;
+              const bool inside = hh >= 0 && hh < h && ww >= 0 && ww < w;
+              *dst++ = inside ? src[(ch * h + hh) * w + ww] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, Shape image_shape, int64_t kernel,
+              int64_t stride, int64_t padding) {
+  DKFAC_CHECK(image_shape.ndim() == 4) << "col2im target must be NCHW";
+  const int64_t n = image_shape[0], c = image_shape[1], h = image_shape[2],
+                w = image_shape[3];
+  const int64_t oh = conv_out_size(h, kernel, stride, padding);
+  const int64_t ow = conv_out_size(w, kernel, stride, padding);
+  const int64_t patch_dim = c * kernel * kernel;
+  DKFAC_CHECK(cols.ndim() == 2 && cols.dim(0) == n * oh * ow &&
+              cols.dim(1) == patch_dim)
+      << "col2im input shape " << cols.shape() << " inconsistent with image "
+      << image_shape;
+
+  Tensor img(image_shape);
+#pragma omp parallel for schedule(static)
+  for (int64_t b = 0; b < n; ++b) {
+    float* dst = img.data() + b * c * h * w;
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        const float* src = cols.data() + ((b * oh + r) * ow + col) * patch_dim;
+        const int64_t h0 = r * stride - padding;
+        const int64_t w0 = col * stride - padding;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          for (int64_t kh = 0; kh < kernel; ++kh) {
+            const int64_t hh = h0 + kh;
+            for (int64_t kw = 0; kw < kernel; ++kw) {
+              const int64_t ww = w0 + kw;
+              if (hh >= 0 && hh < h && ww >= 0 && ww < w) {
+                dst[(ch * h + hh) * w + ww] += src[(ch * kernel + kh) * kernel + kw];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Conv2d::Conv2d(Conv2dSpec spec, Rng& rng, std::string name)
+    : spec_(spec),
+      patch_dim_(spec.in_channels * spec.kernel * spec.kernel),
+      name_(std::move(name)),
+      weight_(name_ + ".weight", Tensor(Shape{spec.out_channels, patch_dim_})) {
+  DKFAC_CHECK(spec.in_channels > 0 && spec.out_channels > 0)
+      << name_ << ": invalid channel counts";
+  kaiming_normal(weight_.value, patch_dim_, rng);
+  if (spec_.bias) {
+    bias_param_.emplace(name_ + ".bias", Tensor(Shape{spec.out_channels}));
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  DKFAC_CHECK(x.ndim() == 4 && x.dim(1) == spec_.in_channels)
+      << name_ << ": input " << x.shape() << " expected [N, " << spec_.in_channels
+      << ", H, W]";
+  input_shape_ = x.shape();
+  patches_ = im2col(x, spec_.kernel, spec_.stride, spec_.padding);
+  has_batch_ = true;
+  has_grad_ = false;
+
+  const int64_t n = x.dim(0);
+  const int64_t oh = conv_out_size(x.dim(2), spec_.kernel, spec_.stride, spec_.padding);
+  const int64_t ow = conv_out_size(x.dim(3), spec_.kernel, spec_.stride, spec_.padding);
+  const int64_t oc = spec_.out_channels;
+
+  // rows [N·OH·OW, OC] = patches · Wᵀ, then permute into NCHW.
+  Tensor rows = matmul(patches_, weight_.value, Trans::kNo, Trans::kYes);
+  Tensor y(Shape{n, oc, oh, ow});
+#pragma omp parallel for schedule(static)
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        const float* src = rows.data() + ((b * oh + r) * ow + col) * oc;
+        for (int64_t ch = 0; ch < oc; ++ch) {
+          y.data()[((b * oc + ch) * oh + r) * ow + col] =
+              src[ch] + (spec_.bias ? bias_param_->value[ch] : 0.0f);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  DKFAC_CHECK(has_batch_) << name_ << ": backward before forward";
+  const int64_t n = input_shape_[0];
+  const int64_t oh = conv_out_size(input_shape_[2], spec_.kernel, spec_.stride,
+                                   spec_.padding);
+  const int64_t ow = conv_out_size(input_shape_[3], spec_.kernel, spec_.stride,
+                                   spec_.padding);
+  const int64_t oc = spec_.out_channels;
+  DKFAC_CHECK(grad_output.shape() == Shape({n, oc, oh, ow}))
+      << name_ << ": grad shape " << grad_output.shape();
+
+  // Permute NCHW grad into row layout matching the forward GEMM.
+  grad_rows_ = Tensor(Shape{n * oh * ow, oc});
+#pragma omp parallel for schedule(static)
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        float* dst = grad_rows_.data() + ((b * oh + r) * ow + col) * oc;
+        for (int64_t ch = 0; ch < oc; ++ch) {
+          dst[ch] = grad_output.data()[((b * oc + ch) * oh + r) * ow + col];
+        }
+      }
+    }
+  }
+  has_grad_ = true;
+
+  // dW += rowsᵀ·patches ; db += column sums ; dx = col2im(rows·W).
+  gemm(1.0f, grad_rows_, Trans::kYes, patches_, Trans::kNo, 1.0f, weight_.grad);
+  if (spec_.bias) {
+    const int64_t rows_n = grad_rows_.dim(0);
+    for (int64_t i = 0; i < rows_n; ++i) {
+      const float* row = grad_rows_.data() + i * oc;
+      for (int64_t ch = 0; ch < oc; ++ch) bias_param_->grad[ch] += row[ch];
+    }
+  }
+  Tensor grad_patches = matmul(grad_rows_, weight_.value);
+  return col2im(grad_patches, input_shape_, spec_.kernel, spec_.stride,
+                spec_.padding);
+}
+
+std::vector<Parameter*> Conv2d::local_parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (spec_.bias) out.push_back(&*bias_param_);
+  return out;
+}
+
+Tensor Conv2d::kfac_a_factor() const {
+  DKFAC_CHECK(has_batch_) << name_ << ": no forward pass captured for A factor";
+  const int64_t rows = patches_.dim(0);  // N·OH·OW
+  const int64_t d = kfac_a_dim();
+  Tensor a(Shape{d, d});
+  if (!spec_.bias) {
+    gemm(1.0f / static_cast<float>(rows), patches_, Trans::kYes, patches_,
+         Trans::kNo, 0.0f, a);
+    return a;
+  }
+  Tensor augmented(Shape{rows, d});
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* src = patches_.data() + i * patch_dim_;
+    float* dst = augmented.data() + i * d;
+    std::copy(src, src + patch_dim_, dst);
+    dst[patch_dim_] = 1.0f;
+  }
+  gemm(1.0f / static_cast<float>(rows), augmented, Trans::kYes, augmented,
+       Trans::kNo, 0.0f, a);
+  return a;
+}
+
+Tensor Conv2d::kfac_g_factor() const {
+  DKFAC_CHECK(has_grad_) << name_ << ": no backward pass captured for G factor";
+  const int64_t rows = grad_rows_.dim(0);  // N·OH·OW
+  const int64_t n = input_shape_[0];
+  const int64_t oc = spec_.out_channels;
+  // Per-sample output grads are N·g (mean loss); average the outer product
+  // over batch and spatial positions: G = N²/(N·OH·OW) · rowsᵀ·rows.
+  const float scale = static_cast<float>(n) * static_cast<float>(n) /
+                      static_cast<float>(rows);
+  Tensor g(Shape{oc, oc});
+  gemm(scale, grad_rows_, Trans::kYes, grad_rows_, Trans::kNo, 0.0f, g);
+  return g;
+}
+
+Tensor Conv2d::kfac_grad() const {
+  if (!spec_.bias) return weight_.grad;
+  const int64_t oc = spec_.out_channels;
+  Tensor combined(Shape{oc, patch_dim_ + 1});
+  for (int64_t i = 0; i < oc; ++i) {
+    const float* src = weight_.grad.data() + i * patch_dim_;
+    float* dst = combined.data() + i * (patch_dim_ + 1);
+    std::copy(src, src + patch_dim_, dst);
+    dst[patch_dim_] = bias_param_->grad[i];
+  }
+  return combined;
+}
+
+void Conv2d::set_kfac_grad(const Tensor& grad) {
+  DKFAC_CHECK(grad.ndim() == 2 && grad.dim(0) == kfac_g_dim() &&
+              grad.dim(1) == kfac_a_dim())
+      << name_ << ": preconditioned grad shape " << grad.shape();
+  if (!spec_.bias) {
+    weight_.grad = grad;
+    return;
+  }
+  const int64_t oc = spec_.out_channels;
+  for (int64_t i = 0; i < oc; ++i) {
+    const float* src = grad.data() + i * (patch_dim_ + 1);
+    float* dst = weight_.grad.data() + i * patch_dim_;
+    std::copy(src, src + patch_dim_, dst);
+    bias_param_->grad[i] = src[patch_dim_];
+  }
+}
+
+}  // namespace dkfac::nn

@@ -1,0 +1,44 @@
+#include "nn/dropout.hpp"
+
+#include "common/error.hpp"
+
+namespace dkfac::nn {
+
+Dropout::Dropout(float p, uint64_t seed, std::string name)
+    : p_(p), seed_(seed), name_(std::move(name)) {
+  DKFAC_CHECK(p >= 0.0f && p < 1.0f) << name_ << ": drop probability " << p;
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training() || p_ == 0.0f) {
+    mask_.clear();
+    return x;
+  }
+  Rng rng(seed_, ++calls_);
+  const float scale = 1.0f / (1.0f - p_);
+  mask_.assign(static_cast<size_t>(x.numel()), 0);
+  Tensor y = x;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (rng.uniform() >= p_) {
+      mask_[static_cast<size_t>(i)] = 1;
+      y[i] *= scale;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // eval mode or p == 0
+  DKFAC_CHECK(static_cast<size_t>(grad_output.numel()) == mask_.size())
+      << name_ << ": backward shape mismatch";
+  const float scale = 1.0f / (1.0f - p_);
+  Tensor dx = grad_output;
+  for (int64_t i = 0; i < dx.numel(); ++i) {
+    dx[i] = mask_[static_cast<size_t>(i)] ? dx[i] * scale : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace dkfac::nn

@@ -1,0 +1,28 @@
+// Inverted dropout: active in training mode, identity in eval mode.
+// Not K-FAC-eligible (no trainable parameters).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dkfac::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `p` = drop probability; survivors are scaled by 1/(1-p) so eval-mode
+  /// activations need no rescaling. The mask stream is deterministic per
+  /// (seed, forward-call index).
+  explicit Dropout(float p, uint64_t seed = 1234, std::string name = "dropout");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  float p_;
+  uint64_t seed_;
+  uint64_t calls_ = 0;
+  std::string name_;
+  std::vector<uint8_t> mask_;  // 1 = kept
+};
+
+}  // namespace dkfac::nn

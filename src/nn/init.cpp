@@ -1,0 +1,21 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac::nn {
+
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  DKFAC_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(w.span(), 0.0f, stddev);
+}
+
+void fan_in_uniform(Tensor& w, int64_t fan_in, Rng& rng) {
+  DKFAC_CHECK(fan_in > 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  rng.fill_uniform(w.span(), -bound, bound);
+}
+
+}  // namespace dkfac::nn

@@ -1,0 +1,15 @@
+// Weight initialisation (Kaiming / He schemes used by ResNet).
+#pragma once
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dkfac::nn {
+
+/// Kaiming-normal: N(0, sqrt(2/fan_in)) — the ResNet conv initialiser.
+void kaiming_normal(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// Uniform in ±1/sqrt(fan_in) — the classic Linear default.
+void fan_in_uniform(Tensor& w, int64_t fan_in, Rng& rng);
+
+}  // namespace dkfac::nn

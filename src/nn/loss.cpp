@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac::nn {
+
+Tensor softmax(const Tensor& logits) {
+  DKFAC_CHECK(logits.ndim() == 2) << "softmax expects [N, C], got " << logits.shape();
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* out = probs.data() + i * c;
+    const float m = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      out[j] = std::exp(row[j] - m);
+      denom += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 float label_smoothing) {
+  DKFAC_CHECK(logits.ndim() == 2) << "loss expects [N, C], got " << logits.shape();
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  DKFAC_CHECK(static_cast<int64_t>(labels.size()) == n)
+      << "label count " << labels.size() << " vs batch " << n;
+  DKFAC_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
+  DKFAC_CHECK(n > 0) << "empty batch";
+
+  Tensor probs = softmax(logits);
+  const float off_target = label_smoothing / static_cast<float>(c);
+  const float on_target = 1.0f - label_smoothing + off_target;
+
+  double total = 0.0;
+  Tensor grad = probs;  // start from softmax; subtract target distribution
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    DKFAC_CHECK(y >= 0 && y < c) << "label " << y << " out of range [0, " << c << ")";
+    const float* p = probs.data() + i * c;
+    float* g = grad.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) {
+      const float target = (j == y) ? on_target : off_target;
+      if (target > 0.0f) {
+        total -= target * std::log(std::max(p[j], 1e-12f));
+      }
+      g[j] = (p[j] - target) * inv_n;
+    }
+  }
+  return {static_cast<float>(total / n), std::move(grad)};
+}
+
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  DKFAC_CHECK(logits.ndim() == 2);
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  DKFAC_CHECK(static_cast<int64_t>(labels.size()) == n);
+  if (n == 0) return 0.0f;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const int64_t pred = std::max_element(row, row + c) - row;
+    correct += (pred == labels[static_cast<size_t>(i)]);
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace dkfac::nn

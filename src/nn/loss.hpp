@@ -1,0 +1,29 @@
+// Softmax cross-entropy with label smoothing (paper §VI-C1 smooths labels
+// by 0.1 for the ImageNet runs), plus classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dkfac::nn {
+
+struct LossResult {
+  float loss;   // mean over the batch
+  Tensor grad;  // dL/dlogits, shape [N, C], already includes the 1/N
+};
+
+/// Numerically-stable softmax cross-entropy. `labels` are class indices.
+/// With label_smoothing ε the target is (1-ε)·onehot + ε/C.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels,
+                                 float label_smoothing = 0.0f);
+
+/// Row-wise softmax probabilities.
+Tensor softmax(const Tensor& logits);
+
+/// Top-1 accuracy in [0, 1].
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace dkfac::nn

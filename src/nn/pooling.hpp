@@ -1,0 +1,41 @@
+// Spatial pooling layers (NCHW).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dkfac::nn {
+
+/// Max pooling with square window. Stores argmax indices for backward.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride, int64_t padding = 0,
+            std::string name = "maxpool");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+  std::string name_;
+  Shape input_shape_{0};
+  std::vector<int64_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] → [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Shape input_shape_{0};
+};
+
+}  // namespace dkfac::nn

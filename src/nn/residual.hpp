@@ -1,0 +1,62 @@
+// Residual blocks (He et al.): the skip connection is the one non-chain
+// piece of ResNet topology, so it gets its own composite layer that routes
+// gradients to both branches explicitly.
+#pragma once
+
+#include <optional>
+
+#include "nn/activation.hpp"
+#include "nn/sequential.hpp"
+
+namespace dkfac::nn {
+
+/// y = ReLU(main(x) + shortcut(x)) where shortcut is identity or a
+/// projection (1×1 conv + BN) when shape changes. Covers both the
+/// BasicBlock and Bottleneck main-branch structures — the factory functions
+/// in resnet.hpp build the appropriate `main`.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(LayerPtr main, LayerPtr shortcut, std::string name = "block")
+      : name_(std::move(name)),
+        main_(std::move(main)),
+        shortcut_(std::move(shortcut)),
+        relu_(name_ + ".relu") {}
+
+  Tensor forward(const Tensor& x) override {
+    Tensor out = main_->forward(x);
+    if (shortcut_) {
+      out.add_(shortcut_->forward(x));
+    } else {
+      out.add_(x);
+    }
+    return relu_.forward(out);
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = relu_.backward(grad_output);
+    Tensor dx = main_->backward(g);
+    if (shortcut_) {
+      dx.add_(shortcut_->backward(g));
+    } else {
+      dx.add_(g);
+    }
+    return dx;
+  }
+
+  std::vector<Layer*> children() override {
+    std::vector<Layer*> out{main_.get()};
+    if (shortcut_) out.push_back(shortcut_.get());
+    out.push_back(&relu_);
+    return out;
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  LayerPtr main_;
+  LayerPtr shortcut_;  // null → identity skip
+  ReLU relu_;
+};
+
+}  // namespace dkfac::nn

@@ -1,0 +1,34 @@
+// ResNet model factory (He et al. 2016), both the CIFAR family
+// (6n+2-layer: ResNet-8/14/20/32/...) and the ImageNet family
+// (ResNet-18/34/50/101/152), plus small MLP/CNN builders used by tests
+// and the quickstart example.
+//
+// `base_width` scales every stage's channel count, which lets benches run
+// faithfully-shaped but laptop-sized models (see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace dkfac::nn {
+
+/// CIFAR-style ResNet of depth 6n+2 with basic blocks.
+/// depth ∈ {8, 14, 20, 26, 32, ...}; stages use widths {w, 2w, 4w}.
+LayerPtr resnet_cifar(int depth, int64_t num_classes, Rng& rng,
+                      int64_t base_width = 16, int64_t in_channels = 3);
+
+/// ImageNet-style ResNet. depth ∈ {18, 34, 50, 101, 152}; 50+ use
+/// bottleneck blocks with expansion 4.
+LayerPtr resnet_imagenet(int depth, int64_t num_classes, Rng& rng,
+                         int64_t base_width = 64, int64_t in_channels = 3);
+
+/// Two-hidden-layer MLP for unit tests and the quickstart.
+LayerPtr mlp(int64_t in_features, int64_t hidden, int64_t num_classes, Rng& rng);
+
+/// Conv → BN → ReLU → pool → conv → BN → ReLU → GAP → FC. A minimal CNN
+/// exercising every layer type.
+LayerPtr simple_cnn(int64_t in_channels, int64_t num_classes, Rng& rng,
+                    int64_t width = 8);
+
+}  // namespace dkfac::nn

@@ -1,0 +1,131 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace dkfac::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'K', 'F', 'C'};
+constexpr uint32_t kVersion = 1;
+
+struct Entry {
+  std::string name;
+  const Tensor* tensor;       // save path
+  Tensor* mutable_tensor;     // load path
+};
+
+/// Every named tensor of the model: parameters + BatchNorm running stats.
+std::vector<Entry> collect_entries(Layer& model) {
+  std::vector<Entry> entries;
+  for (Parameter* p : model.parameters()) {
+    entries.push_back({p->name, &p->value, &p->value});
+  }
+  for (Layer* m : model.modules()) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(m)) {
+      // running_mean()/running_var() expose const refs; the stats live in
+      // the layer, so the const_cast writes back into the same storage.
+      entries.push_back({bn->name() + ".running_mean", &bn->running_mean(),
+                         const_cast<Tensor*>(&bn->running_mean())});
+      entries.push_back({bn->name() + ".running_var", &bn->running_var(),
+                         const_cast<Tensor*>(&bn->running_var())});
+    }
+  }
+  return entries;
+}
+
+void write_u64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::istream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DKFAC_CHECK(in.good()) << "checkpoint truncated";
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(Layer& model, std::ostream& out) {
+  const std::vector<Entry> entries = collect_entries(model);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  write_u64(out, entries.size());
+  for (const Entry& e : entries) {
+    write_u64(out, e.name.size());
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    const auto& dims = e.tensor->shape().dims();
+    write_u64(out, dims.size());
+    for (int64_t d : dims) write_u64(out, static_cast<uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(e.tensor->data()),
+              static_cast<std::streamsize>(e.tensor->numel() * sizeof(float)));
+  }
+  DKFAC_CHECK(out.good()) << "checkpoint write failed";
+}
+
+void save_checkpoint(Layer& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DKFAC_CHECK(out.is_open()) << "cannot open " << path << " for writing";
+  save_checkpoint(model, out);
+}
+
+void load_checkpoint(Layer& model, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  DKFAC_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+      << "not a dkfac checkpoint";
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  DKFAC_CHECK(version == kVersion)
+      << "unsupported checkpoint version " << version;
+
+  std::map<std::string, Tensor*> targets;
+  for (Entry& e : collect_entries(model)) {
+    DKFAC_CHECK(targets.emplace(e.name, e.mutable_tensor).second)
+        << "duplicate tensor name in model: " << e.name;
+  }
+
+  const uint64_t count = read_u64(in);
+  size_t restored = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t name_len = read_u64(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t ndim = read_u64(in);
+    std::vector<int64_t> dims(ndim);
+    for (uint64_t d = 0; d < ndim; ++d) {
+      dims[d] = static_cast<int64_t>(read_u64(in));
+    }
+    const Shape shape{std::move(dims)};
+    const int64_t numel = shape.numel();
+
+    const auto it = targets.find(name);
+    DKFAC_CHECK(it != targets.end())
+        << "checkpoint tensor '" << name << "' not present in the model";
+    DKFAC_CHECK(it->second->shape() == shape)
+        << "shape mismatch for '" << name << "': checkpoint " << shape
+        << " vs model " << it->second->shape();
+    in.read(reinterpret_cast<char*>(it->second->data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    DKFAC_CHECK(in.good()) << "checkpoint truncated in tensor '" << name << "'";
+    ++restored;
+  }
+  DKFAC_CHECK(restored == targets.size())
+      << "checkpoint restored " << restored << " of " << targets.size()
+      << " model tensors";
+}
+
+void load_checkpoint(Layer& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DKFAC_CHECK(in.is_open()) << "cannot open " << path << " for reading";
+  load_checkpoint(model, in);
+}
+
+}  // namespace dkfac::nn

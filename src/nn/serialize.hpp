@@ -1,0 +1,30 @@
+// Checkpointing: save/load model parameters (and BatchNorm running
+// statistics) to a simple self-describing binary format.
+//
+// Format (little-endian):
+//   magic "DKFC" | u32 version | u64 entry_count |
+//   per entry: u64 name_len | name bytes | u64 ndim | u64 dims[ndim] |
+//              f32 data[numel]
+//
+// Entries are keyed by parameter name, so checkpoints survive refactors
+// that reorder layers but not ones that rename them. BatchNorm running
+// stats are stored under "<bn-name>.running_{mean,var}".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace dkfac::nn {
+
+/// Serialises every parameter and BatchNorm running statistic of `model`.
+void save_checkpoint(Layer& model, std::ostream& out);
+void save_checkpoint(Layer& model, const std::string& path);
+
+/// Restores a checkpoint saved by save_checkpoint. Throws dkfac::Error on
+/// magic/version mismatch, missing entries, or shape mismatches.
+void load_checkpoint(Layer& model, std::istream& in);
+void load_checkpoint(Layer& model, const std::string& path);
+
+}  // namespace dkfac::nn

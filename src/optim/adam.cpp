@@ -1,0 +1,44 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  DKFAC_CHECK(options_.lr > 0.0f);
+  DKFAC_CHECK(options_.beta1 >= 0.0f && options_.beta1 < 1.0f);
+  DKFAC_CHECK(options_.beta2 >= 0.0f && options_.beta2 < 1.0f);
+  DKFAC_CHECK(options_.epsilon > 0.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const nn::Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = p.grad[j];
+      if (options_.weight_decay != 0.0f) g += options_.weight_decay * p.value[j];
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p.value[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace dkfac::optim

@@ -1,0 +1,39 @@
+// Adam (Kingma & Ba). The paper positions K-FAC as a preconditioner usable
+// "in-place with any standard optimizer, such as Adam, LARS, or SGD"
+// (§IV) — this is the Adam of that sentence.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dkfac::optim {
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<nn::Parameter*> params, AdamOptions options);
+
+  /// One update from the gradients currently stored in the parameters.
+  void step();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  int64_t step_ = 0;
+};
+
+}  // namespace dkfac::optim

@@ -1,0 +1,53 @@
+#include "optim/lars.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac::optim {
+
+Lars::Lars(std::vector<nn::Parameter*> params, LarsOptions options)
+    : params_(std::move(params)), options_(options) {
+  DKFAC_CHECK(options_.lr > 0.0f);
+  DKFAC_CHECK(options_.momentum >= 0.0f && options_.momentum < 1.0f);
+  DKFAC_CHECK(options_.trust > 0.0f);
+  velocity_.reserve(params_.size());
+  for (const nn::Parameter* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+  last_ratio_.assign(params_.size(), 1.0f);
+}
+
+void Lars::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const int64_t n = p.value.numel();
+
+    // Layer-wise norms of w and of (g + λw).
+    double w_norm_sq = 0.0;
+    double u_norm_sq = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double w = p.value[j];
+      const double u = p.grad[j] + options_.weight_decay * w;
+      w_norm_sq += w * w;
+      u_norm_sq += u * u;
+    }
+    const float w_norm = static_cast<float>(std::sqrt(w_norm_sq));
+    const float u_norm = static_cast<float>(std::sqrt(u_norm_sq));
+    // Freshly-initialised (or bias-like) tensors with tiny norms fall back
+    // to the plain update, as in reference implementations.
+    const float ratio = (w_norm > options_.epsilon && u_norm > options_.epsilon)
+                            ? options_.trust * w_norm / u_norm
+                            : 1.0f;
+    last_ratio_[i] = ratio;
+
+    for (int64_t j = 0; j < n; ++j) {
+      const float u = p.grad[j] + options_.weight_decay * p.value[j];
+      v[j] = options_.momentum * v[j] + options_.lr * ratio * u;
+      p.value[j] -= v[j];
+    }
+  }
+}
+
+}  // namespace dkfac::optim

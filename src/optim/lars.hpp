@@ -1,0 +1,42 @@
+// LARS — layer-wise adaptive rate scaling (You, Gitman, Keutzer), the
+// large-batch SGD variant the paper compares against in §III-A. Each
+// parameter tensor's update is rescaled by trust · ||w|| / ||g + λw|| so
+// layers with small weights are not swamped by large global LRs.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dkfac::optim {
+
+struct LarsOptions {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Trust coefficient η; the LARS paper uses ~0.001.
+  float trust = 0.001f;
+  float epsilon = 1e-9f;
+};
+
+class Lars {
+ public:
+  Lars(std::vector<nn::Parameter*> params, LarsOptions options);
+
+  void step();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+
+  /// The adaptive ratio used for parameter `i` in the last step (exposed
+  /// for tests and diagnostics).
+  float last_ratio(size_t i) const { return last_ratio_[i]; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  LarsOptions options_;
+  std::vector<Tensor> velocity_;
+  std::vector<float> last_ratio_;
+};
+
+}  // namespace dkfac::optim

@@ -1,0 +1,156 @@
+#include "sim/arch_stats.hpp"
+
+#include "common/error.hpp"
+#include "nn/conv2d.hpp"  // conv_out_size
+
+namespace dkfac::sim {
+
+namespace {
+
+/// Appends a conv layer's shape and advances the spatial tracker.
+struct Builder {
+  std::vector<LayerShape> layers;
+  int64_t channels;
+  int64_t res;  // current square spatial resolution
+
+  void conv(const std::string& name, int64_t out, int64_t kernel, int64_t stride,
+            int64_t padding) {
+    const int64_t out_res = nn::conv_out_size(res, kernel, stride, padding);
+    layers.push_back({name, channels * kernel * kernel, out, out_res * out_res});
+    channels = out;
+    res = out_res;
+  }
+
+  void pool(int64_t kernel, int64_t stride, int64_t padding) {
+    res = nn::conv_out_size(res, kernel, stride, padding);
+  }
+
+  void fc(const std::string& name, int64_t out) {
+    layers.push_back({name, channels + 1, out, 1});  // +1: bias column
+    channels = out;
+  }
+};
+
+void basic_block(Builder& b, const std::string& name, int64_t out, int64_t stride) {
+  const int64_t in = b.channels;
+  const int64_t in_res = b.res;
+  b.conv(name + ".conv1", out, 3, stride, 1);
+  b.conv(name + ".conv2", out, 3, 1, 1);
+  if (stride != 1 || in != out) {
+    // Projection shortcut operates on the block input.
+    Builder side{{}, in, in_res};
+    side.conv(name + ".down", out, 1, stride, 0);
+    b.layers.push_back(side.layers[0]);
+  }
+}
+
+void bottleneck_block(Builder& b, const std::string& name, int64_t mid,
+                      int64_t stride) {
+  const int64_t in = b.channels;
+  const int64_t in_res = b.res;
+  const int64_t out = mid * 4;
+  b.conv(name + ".conv1", mid, 1, 1, 0);
+  b.conv(name + ".conv2", mid, 3, stride, 1);
+  b.conv(name + ".conv3", out, 1, 1, 0);
+  if (stride != 1 || in != out) {
+    Builder side{{}, in, in_res};
+    side.conv(name + ".down", out, 1, stride, 0);
+    b.layers.push_back(side.layers[0]);
+  }
+}
+
+}  // namespace
+
+int64_t ArchInfo::total_params() const {
+  int64_t total = 0;
+  for (const LayerShape& l : layers) total += l.params();
+  return total;
+}
+
+double ArchInfo::forward_flops_per_sample() const {
+  double total = 0.0;
+  for (const LayerShape& l : layers) total += l.forward_flops();
+  return total;
+}
+
+double ArchInfo::factor_flops_per_sample() const {
+  double total = 0.0;
+  for (const LayerShape& l : layers) total += l.factor_flops();
+  return total;
+}
+
+std::vector<int64_t> ArchInfo::factor_dims() const {
+  std::vector<int64_t> dims;
+  dims.reserve(layers.size() * 2);
+  for (const LayerShape& l : layers) {
+    dims.push_back(l.a_dim);
+    dims.push_back(l.g_dim);
+  }
+  return dims;
+}
+
+int64_t ArchInfo::factor_bytes() const {
+  int64_t total = 0;
+  for (int64_t d : factor_dims()) total += d * d * 4;
+  return total;
+}
+
+int64_t ArchInfo::eigen_bytes() const {
+  int64_t total = 0;
+  for (int64_t d : factor_dims()) total += (d * d + d) * 4;
+  return total;
+}
+
+ArchInfo resnet_imagenet_arch(int depth, int64_t image, int64_t num_classes) {
+  std::vector<int> blocks;
+  bool bottleneck = false;
+  switch (depth) {
+    case 18: blocks = {2, 2, 2, 2}; break;
+    case 34: blocks = {3, 4, 6, 3}; break;
+    case 50: blocks = {3, 4, 6, 3}; bottleneck = true; break;
+    case 101: blocks = {3, 4, 23, 3}; bottleneck = true; break;
+    case 152: blocks = {3, 8, 36, 3}; bottleneck = true; break;
+    default:
+      DKFAC_CHECK(false) << "unsupported ImageNet ResNet depth " << depth;
+  }
+
+  Builder b{{}, 3, image};
+  b.conv("stem", 64, 7, 2, 3);
+  b.pool(3, 2, 1);
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t mid = int64_t{64} << stage;
+    for (int block = 0; block < blocks[static_cast<size_t>(stage)]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string name =
+          "s" + std::to_string(stage + 1) + ".b" + std::to_string(block + 1);
+      if (bottleneck) {
+        bottleneck_block(b, name, mid, stride);
+      } else {
+        basic_block(b, name, mid, stride);
+      }
+    }
+  }
+  b.fc("fc", num_classes);
+  return {"resnet" + std::to_string(depth), std::move(b.layers)};
+}
+
+ArchInfo resnet_cifar_arch(int depth, int64_t num_classes) {
+  DKFAC_CHECK(depth >= 8 && (depth - 2) % 6 == 0)
+      << "CIFAR ResNet depth must be 6n+2, got " << depth;
+  const int n = (depth - 2) / 6;
+  Builder b{{}, 3, 32};
+  b.conv("stem", 16, 3, 1, 1);
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out = int64_t{16} << stage;
+    for (int block = 0; block < n; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      basic_block(b,
+                  "s" + std::to_string(stage + 1) + ".b" + std::to_string(block + 1),
+                  out, stride);
+    }
+  }
+  b.fc("fc", num_classes);
+  return {"resnet" + std::to_string(depth) + "-cifar", std::move(b.layers)};
+}
+
+}  // namespace dkfac::sim

@@ -1,0 +1,72 @@
+// Architecture shape inventories.
+//
+// The at-scale experiments (Figs 7–10, Tables IV–VI) are driven by the
+// *true* per-layer Kronecker-factor dimensions of ResNet-50/101/152 at
+// ImageNet resolution. This module enumerates them by replaying the
+// architecture arithmetic — no weights are allocated, so ResNet-152's 60M
+// parameters cost nothing to "instantiate" here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dkfac::sim {
+
+/// One K-FAC-eligible layer (conv or fc) of a network.
+struct LayerShape {
+  std::string name;
+  int64_t a_dim = 0;    // C_in·k·k for conv, in_features+1 for fc
+  int64_t g_dim = 0;    // C_out / out_features
+  int64_t spatial = 0;  // OH·OW at the reference input resolution (1 for fc)
+
+  /// Weight parameter count (the quantity behind the paper's worker-load
+  /// imbalance discussion in §VI-C4).
+  int64_t params() const { return a_dim * g_dim; }
+
+  /// Forward FLOPs per sample: one GEMM of [spatial, a_dim]·[a_dim, g_dim].
+  double forward_flops() const {
+    return 2.0 * static_cast<double>(spatial) * static_cast<double>(a_dim) *
+           static_cast<double>(g_dim);
+  }
+
+  /// FLOPs per sample for both Kronecker factors: A = patchesᵀpatches and
+  /// G = gradsᵀgrads over `spatial` rows.
+  double factor_flops() const {
+    const double rows = static_cast<double>(spatial);
+    return 2.0 * rows *
+           (static_cast<double>(a_dim) * a_dim + static_cast<double>(g_dim) * g_dim);
+  }
+};
+
+struct ArchInfo {
+  std::string name;
+  std::vector<LayerShape> layers;
+
+  int64_t total_params() const;
+  double forward_flops_per_sample() const;
+  double factor_flops_per_sample() const;
+
+  /// Flattened factor dims (A₀, G₁, A₁, G₂, ...) — the input to the
+  /// dkfac::kfac assignment policies.
+  std::vector<int64_t> factor_dims() const;
+
+  /// Bytes of one gradient allreduce (FP32).
+  int64_t gradient_bytes() const { return total_params() * 4; }
+
+  /// Bytes of one fused factor allreduce (FP32, both factors per layer).
+  int64_t factor_bytes() const;
+
+  /// Bytes of one eigendecomposition allgather (Q n² + Λ n per factor).
+  int64_t eigen_bytes() const;
+};
+
+/// ImageNet-family ResNet (depth ∈ {18, 34, 50, 101, 152}) at the given
+/// input resolution (paper: 224).
+ArchInfo resnet_imagenet_arch(int depth, int64_t image = 224,
+                              int64_t num_classes = 1000);
+
+/// CIFAR-family ResNet (depth = 6n+2) at 32×32.
+ArchInfo resnet_cifar_arch(int depth, int64_t num_classes = 10);
+
+}  // namespace dkfac::sim

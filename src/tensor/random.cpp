@@ -1,0 +1,78 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dkfac {
+
+namespace {
+
+/// SplitMix64 finalizer — full-avalanche mix of a 64-bit word.
+uint64_t mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream)
+    : state_(mix(seed ^ mix(stream * 0x9e3779b97f4a7c15ULL + 1))) {}
+
+uint64_t Rng::next_u64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return mix(state_);
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0, 1) with full float mantissa coverage.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::uniform_int(uint64_t n) {
+  DKFAC_CHECK(n > 0) << "uniform_int needs a positive bound";
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % n);
+  uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from zero so the log is finite.
+  float u1 = uniform();
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float angle = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+void Rng::fill_normal(std::span<float> out, float mean, float stddev) {
+  for (float& v : out) v = normal(mean, stddev);
+}
+
+void Rng::fill_uniform(std::span<float> out, float lo, float hi) {
+  for (float& v : out) v = uniform(lo, hi);
+}
+
+void Rng::shuffle(std::span<int64_t> values) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(uniform_int(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace dkfac

@@ -1,0 +1,53 @@
+// Deterministic counter-based random number generation.
+//
+// Every stochastic component in dkfac (init, data synthesis, shuffling)
+// takes an explicit Rng so that distributed runs are bit-reproducible:
+// the same (seed, stream) pair yields the same sequence on every rank.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dkfac {
+
+/// SplitMix64-based generator. Cheap to construct, no global state.
+/// Distinct `stream` values give statistically independent sequences
+/// from one seed (used to give each rank / epoch its own stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed, uint64_t stream = 0);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  float uniform();
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t uniform_int(uint64_t n);
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Fill `out` with standard normal samples.
+  void fill_normal(std::span<float> out, float mean = 0.0f, float stddev = 1.0f);
+
+  /// Fill `out` with uniform samples in [lo, hi).
+  void fill_uniform(std::span<float> out, float lo = 0.0f, float hi = 1.0f);
+
+  /// Fisher–Yates shuffle of an index permutation.
+  void shuffle(std::span<int64_t> values);
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace dkfac

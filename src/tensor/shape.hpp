@@ -1,0 +1,79 @@
+// Shape: dimension vector for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac {
+
+/// Dimensions of a dense row-major tensor. Immutable value type.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  /// Number of dimensions (rank) of the tensor.
+  int64_t ndim() const { return static_cast<int64_t>(dims_.size()); }
+
+  /// Size along dimension `i`; negative `i` counts from the end.
+  int64_t dim(int64_t i) const {
+    const int64_t n = ndim();
+    if (i < 0) i += n;
+    DKFAC_CHECK(i >= 0 && i < n) << "dim index " << i << " out of range for rank " << n;
+    return dims_[static_cast<size_t>(i)];
+  }
+
+  int64_t operator[](int64_t i) const { return dim(i); }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                           [](int64_t a, int64_t b) { return a * b; });
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements) matching this shape.
+  std::vector<int64_t> strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int64_t i = ndim() - 2; i >= 0; --i) {
+      s[static_cast<size_t>(i)] =
+          s[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+    }
+    return s;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void validate() const {
+    for (int64_t d : dims_) {
+      DKFAC_CHECK(d >= 0) << "negative dimension in shape " << to_string();
+    }
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.to_string();
+}
+
+}  // namespace dkfac

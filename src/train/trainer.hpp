@@ -1,0 +1,108 @@
+// Distributed training harness — the C++ equivalent of the paper's
+// Listing 1 loop, run SPMD over thread ranks:
+//
+//     output = model(data);  loss = criterion(output, target);
+//     loss.backward();
+//     optimizer.synchronize();        -> fused gradient allreduce
+//     preconditioner.step();          -> KfacPreconditioner::step()
+//     optimizer.step();               -> Sgd::step()
+//
+// Every rank builds an identical model replica (same seed), consumes its
+// shard of the global batch, and participates in the collectives. Shared
+// by all examples and benches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/options.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/layer.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace dkfac::train {
+
+using ModelFactory = std::function<nn::LayerPtr(Rng&)>;
+
+/// Inner optimizer the (optional) K-FAC preconditioner runs in front of —
+/// the paper's §IV composability: "K-FAC can be used in-place with any
+/// standard optimizer, such as Adam, LARS, or SGD".
+enum class OptimizerKind { kSgd, kAdam, kLars };
+
+struct TrainConfig {
+  int64_t local_batch = 32;
+  int epochs = 10;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  optim::LrSchedule::Options lr;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  float label_smoothing = 0.0f;
+
+  /// Enable the K-FAC preconditioner in front of SGD.
+  bool use_kfac = false;
+  kfac::KfacOptions kfac;
+  /// Damping decay (paper §V-C): γ multiplied by `damping_decay_factor`
+  /// at each listed epoch.
+  std::vector<float> damping_decay_epochs;
+  float damping_decay_factor = 0.5f;
+  /// Update-frequency decay (paper §V-C): the K-FAC update interval is
+  /// multiplied by `freq_decay_factor` at each listed epoch (factor
+  /// interval scales with it, preserving the 10× relationship).
+  std::vector<float> freq_decay_epochs;
+  float freq_decay_factor = 0.5f;
+
+  uint64_t model_seed = 42;
+  uint64_t data_seed = 7;
+  int64_t eval_batch = 256;
+
+  /// Invoked with rank 0's trained model before the workers tear down —
+  /// use it to checkpoint or inspect the final weights.
+  std::function<void(nn::Layer&)> on_trained_model;
+};
+
+struct EpochMetrics {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float train_accuracy = 0.0f;
+  float val_accuracy = 0.0f;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochMetrics> epochs;
+  float final_val_accuracy = 0.0f;
+  float best_val_accuracy = 0.0f;
+  int64_t iterations = 0;
+  double total_seconds = 0.0;
+  /// Rank-0 communication counters over the whole run.
+  comm::CommStats comm_stats;
+
+  /// First epoch (1-based) whose validation accuracy reaches `target`,
+  /// or -1 if never reached.
+  int epochs_to_reach(float target) const {
+    for (const EpochMetrics& m : epochs) {
+      if (m.val_accuracy >= target) return m.epoch;
+    }
+    return -1;
+  }
+};
+
+/// Runs the full distributed training job on `world_size` thread ranks.
+/// Deterministic: the same inputs give the same result bit-for-bit.
+TrainResult train_distributed(const ModelFactory& factory,
+                              const data::SyntheticSpec& data_spec,
+                              const TrainConfig& config, int world_size);
+
+/// Single-rank convenience wrapper.
+TrainResult train_single(const ModelFactory& factory,
+                         const data::SyntheticSpec& data_spec,
+                         const TrainConfig& config);
+
+/// Evaluates top-1 accuracy of `model` over the validation split, sharded
+/// across ranks and allreduced (every rank returns the global number).
+float evaluate(nn::Layer& model, const data::SyntheticImageDataset& val,
+               comm::Communicator& comm, int64_t eval_batch);
+
+}  // namespace dkfac::train

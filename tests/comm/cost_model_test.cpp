@@ -1,0 +1,75 @@
+#include "comm/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+namespace {
+
+TEST(CostModel, SingleRankIsFree) {
+  CostModel m;
+  EXPECT_EQ(m.allreduce_time(1 << 20, 1), 0.0);
+  EXPECT_EQ(m.allgather_time(1 << 20, 1), 0.0);
+  EXPECT_EQ(m.broadcast_time(1 << 20, 1), 0.0);
+}
+
+TEST(CostModel, ZeroBytesIsFree) {
+  CostModel m;
+  EXPECT_EQ(m.allreduce_time(0, 64), 0.0);
+}
+
+TEST(CostModel, AllreduceBandwidthTermSaturates) {
+  // As p → ∞ the bandwidth term approaches 2·n/β: doubling ranks must not
+  // double large-message allreduce time.
+  CostModel m;
+  const uint64_t bytes = 100ull << 20;
+  const double t64 = m.allreduce_time(bytes, 64);
+  const double t128 = m.allreduce_time(bytes, 128);
+  // Bandwidth term saturates; only the latency term (≈5 ms at p=128) grows.
+  EXPECT_LT(t128, 1.15 * t64);
+}
+
+TEST(CostModel, LatencyTermGrowsLinearly) {
+  CostModel m;
+  m.bandwidth_bytes_per_s = 1e18;  // make bandwidth negligible
+  const double t8 = m.allreduce_time(4, 8);
+  const double t16 = m.allreduce_time(4, 16);
+  EXPECT_NEAR(t16 / t8, 15.0 / 7.0, 1e-9);
+}
+
+TEST(CostModel, MoreBytesTakeLonger) {
+  CostModel m;
+  EXPECT_LT(m.allreduce_time(1 << 10, 16), m.allreduce_time(1 << 24, 16));
+  EXPECT_LT(m.allgather_time(1 << 10, 16), m.allgather_time(1 << 24, 16));
+}
+
+TEST(CostModel, BroadcastLogarithmicHops) {
+  CostModel m;
+  m.bandwidth_bytes_per_s = 1e18;
+  const double t2 = m.broadcast_time(4, 2);    // 1 hop
+  const double t16 = m.broadcast_time(4, 16);  // 4 hops
+  EXPECT_NEAR(t16 / t2, 4.0, 1e-9);
+}
+
+TEST(CostModel, EffectiveBandwidthAppliesEfficiency) {
+  CostModel m;
+  m.bandwidth_bytes_per_s = 10e9;
+  m.efficiency = 0.5;
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(), 5e9);
+}
+
+TEST(CostModel, InvalidRanksThrow) {
+  CostModel m;
+  EXPECT_THROW(m.allreduce_time(8, 0), Error);
+  EXPECT_THROW(m.allgather_time(8, -1), Error);
+}
+
+TEST(CostModel, AllgatherCheaperThanAllreduceSameBytes) {
+  // Ring allgather moves half the data of ring allreduce.
+  CostModel m;
+  EXPECT_LT(m.allgather_time(1 << 24, 32), m.allreduce_time(1 << 24, 32));
+}
+
+}  // namespace
+}  // namespace dkfac::comm

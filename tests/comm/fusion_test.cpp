@@ -1,0 +1,93 @@
+#include "comm/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/thread_comm.hpp"
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+namespace {
+
+TEST(FusionBuffer, SingleChunkMatchesDirectAllreduce) {
+  LocalGroup group(3);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> a(10, static_cast<float>(rank));
+    std::vector<float> b(20, static_cast<float>(rank * 2));
+    FusionBuffer fusion(comm, 1 << 20);
+    fusion.add(a);
+    fusion.add(b);
+    fusion.execute(ReduceOp::kSum);
+    EXPECT_EQ(fusion.last_chunk_count(), 1u);
+    for (float v : a) EXPECT_FLOAT_EQ(v, 0 + 1 + 2);
+    for (float v : b) EXPECT_FLOAT_EQ(v, 0 + 2 + 4);
+  });
+}
+
+TEST(FusionBuffer, ChunksWhenOverCapacity) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    // 3 views of 100 floats with a 128-float buffer → multiple chunks.
+    std::vector<std::vector<float>> views(3);
+    for (auto& v : views) v.assign(100, static_cast<float>(rank + 1));
+    FusionBuffer fusion(comm, 128 * sizeof(float));
+    for (auto& v : views) fusion.add(v);
+    fusion.execute(ReduceOp::kAverage);
+    EXPECT_GE(fusion.last_chunk_count(), 3u);
+    for (auto& v : views) {
+      for (float x : v) EXPECT_FLOAT_EQ(x, 1.5f);
+    }
+  });
+}
+
+TEST(FusionBuffer, ViewLargerThanBufferIsSplit) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> big(1000);
+    for (size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<float>(i) + rank;
+    }
+    FusionBuffer fusion(comm, 256 * sizeof(float));
+    fusion.add(big);
+    fusion.execute(ReduceOp::kAverage);
+    EXPECT_EQ(fusion.last_chunk_count(), 4u);  // ceil(1000/256)
+    for (size_t i = 0; i < big.size(); ++i) {
+      ASSERT_FLOAT_EQ(big[i], static_cast<float>(i) + 0.5f) << "index " << i;
+    }
+  });
+}
+
+TEST(FusionBuffer, RegistrationsClearAfterExecute) {
+  SelfComm comm;
+  FusionBuffer fusion(comm);
+  std::vector<float> v(4, 1.0f);
+  fusion.add(v);
+  EXPECT_EQ(fusion.pending_views(), 1u);
+  fusion.execute(ReduceOp::kSum);
+  EXPECT_EQ(fusion.pending_views(), 0u);
+}
+
+TEST(FusionBuffer, EmptyExecuteIsNoop) {
+  SelfComm comm;
+  FusionBuffer fusion(comm);
+  fusion.execute(ReduceOp::kSum);
+  EXPECT_EQ(fusion.last_chunk_count(), 0u);
+}
+
+TEST(FusionBuffer, TinyCapacityThrows) {
+  SelfComm comm;
+  EXPECT_THROW(FusionBuffer(comm, 0), Error);
+}
+
+TEST(FusionBuffer, TensorOverload) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    Tensor t = Tensor::full(Shape{8}, static_cast<float>(rank));
+    FusionBuffer fusion(comm);
+    fusion.add(t);
+    fusion.execute(ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(t[0], 1.0f);
+  });
+}
+
+}  // namespace
+}  // namespace dkfac::comm

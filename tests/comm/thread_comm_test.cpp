@@ -1,0 +1,228 @@
+#include "comm/thread_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+namespace {
+
+class ThreadCommSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCommSizes, AllreduceSum) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> data{static_cast<float>(rank + 1), 10.0f * (rank + 1)};
+    comm.allreduce(data, ReduceOp::kSum);
+    const float expected1 = p * (p + 1) / 2.0f;
+    EXPECT_FLOAT_EQ(data[0], expected1);
+    EXPECT_FLOAT_EQ(data[1], 10.0f * expected1);
+  });
+}
+
+TEST_P(ThreadCommSizes, AllreduceAverage) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> data{static_cast<float>(rank)};
+    comm.allreduce(data, ReduceOp::kAverage);
+    EXPECT_FLOAT_EQ(data[0], (p - 1) / 2.0f);
+  });
+}
+
+TEST_P(ThreadCommSizes, AllreduceMax) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> data{static_cast<float>(rank), -static_cast<float>(rank)};
+    comm.allreduce(data, ReduceOp::kMax);
+    EXPECT_FLOAT_EQ(data[0], static_cast<float>(p - 1));
+    EXPECT_FLOAT_EQ(data[1], 0.0f);
+  });
+}
+
+TEST_P(ThreadCommSizes, AllgatherUniformSizes) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> send{static_cast<float>(rank), static_cast<float>(rank) + 0.5f};
+    std::vector<float> got = comm.allgather(send);
+    ASSERT_EQ(got.size(), static_cast<size_t>(2 * p));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_FLOAT_EQ(got[static_cast<size_t>(2 * r)], static_cast<float>(r));
+      EXPECT_FLOAT_EQ(got[static_cast<size_t>(2 * r + 1)], static_cast<float>(r) + 0.5f);
+    }
+  });
+}
+
+TEST_P(ThreadCommSizes, AllgatherVariableSizes) {
+  // Rank r contributes r+1 elements — the K-FAC eigendecomposition gather
+  // has exactly this ragged structure (factors differ in size).
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> send(static_cast<size_t>(rank + 1),
+                            static_cast<float>(rank));
+    std::vector<float> got = comm.allgather(send);
+    size_t expected_total = 0;
+    for (int r = 0; r < p; ++r) expected_total += static_cast<size_t>(r + 1);
+    ASSERT_EQ(got.size(), expected_total);
+    size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i <= r; ++i) {
+        EXPECT_FLOAT_EQ(got[off++], static_cast<float>(r));
+      }
+    }
+  });
+}
+
+TEST_P(ThreadCommSizes, BroadcastFromEachRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    LocalGroup group(p);
+    group.run([&](int rank, Communicator& comm) {
+      std::vector<float> data(4, rank == root ? 42.0f : -1.0f);
+      comm.broadcast(data, root);
+      for (float v : data) EXPECT_FLOAT_EQ(v, 42.0f);
+    });
+  }
+}
+
+TEST_P(ThreadCommSizes, RepeatedCollectivesStayConsistent) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<float> data{static_cast<float>(rank + iter)};
+      comm.allreduce(data, ReduceOp::kSum);
+      float expected = 0.0f;
+      for (int r = 0; r < p; ++r) expected += static_cast<float>(r + iter);
+      ASSERT_FLOAT_EQ(data[0], expected) << "iteration " << iter;
+    }
+  });
+}
+
+TEST_P(ThreadCommSizes, MixedCollectiveSequence) {
+  const int p = GetParam();
+  LocalGroup group(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> g{static_cast<float>(rank)};
+    comm.allreduce(g, ReduceOp::kAverage);
+    std::vector<float> gathered = comm.allgather(g);
+    ASSERT_EQ(gathered.size(), static_cast<size_t>(p));
+    // Every rank contributed the identical averaged value.
+    for (float v : gathered) EXPECT_FLOAT_EQ(v, g[0]);
+    comm.broadcast(g, 0);
+    comm.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, ThreadCommSizes,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadComm, DeterministicReductionAcrossRanks) {
+  // All ranks must compute bit-identical reductions (rank-ordered sums).
+  const int p = 4;
+  LocalGroup group(p);
+  std::vector<std::vector<float>> results(p);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> data{0.1f * (rank + 1), 0.3f * (rank + 1), -0.7f * (rank + 1)};
+    comm.allreduce(data, ReduceOp::kAverage);
+    results[static_cast<size_t>(rank)] = data;
+  });
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<size_t>(r)], results[0]);
+  }
+}
+
+TEST(ThreadComm, StatsAccumulate) {
+  LocalGroup group(2);
+  group.run([&](int, Communicator& comm) {
+    std::vector<float> data(100, 1.0f);
+    comm.allreduce(data, ReduceOp::kSum);
+    comm.allreduce(data, ReduceOp::kSum);
+    auto gathered = comm.allgather(std::span<const float>(data.data(), 10));
+    EXPECT_EQ(comm.stats().allreduce_calls, 2u);
+    EXPECT_EQ(comm.stats().allreduce_bytes, 2u * 100u * sizeof(float));
+    EXPECT_EQ(comm.stats().allgather_calls, 1u);
+    EXPECT_EQ(comm.stats().allgather_bytes, 10u * sizeof(float));
+    EXPECT_GT(comm.stats().total_bytes(), 0u);
+  });
+}
+
+TEST(ThreadComm, ResetStats) {
+  SelfComm comm;
+  std::vector<float> data(8, 1.0f);
+  comm.allreduce(data, ReduceOp::kSum);
+  EXPECT_GT(comm.stats().total_bytes(), 0u);
+  comm.reset_stats();
+  EXPECT_EQ(comm.stats().total_bytes(), 0u);
+}
+
+TEST(ThreadComm, LengthMismatchThrows) {
+  LocalGroup group(2);
+  EXPECT_THROW(
+      group.run([&](int rank, Communicator& comm) {
+        std::vector<float> data(static_cast<size_t>(rank == 0 ? 3 : 5), 1.0f);
+        comm.allreduce(data, ReduceOp::kSum);
+      }),
+      Error);
+}
+
+TEST(ThreadComm, RunPropagatesExceptions) {
+  LocalGroup group(2);
+  EXPECT_THROW(group.run([&](int rank, Communicator& comm) {
+                 comm.barrier();
+                 if (rank == 1) throw Error("worker failure");
+               }),
+               Error);
+}
+
+TEST(ThreadComm, InvalidRankThrows) {
+  LocalGroup group(2);
+  EXPECT_THROW(group.comm(2), Error);
+  EXPECT_THROW(group.comm(-1), Error);
+  EXPECT_THROW(LocalGroup(0), Error);
+}
+
+TEST(ThreadComm, BroadcastInvalidRootThrows) {
+  SelfComm comm;
+  std::vector<float> data(1);
+  // SelfComm has no root check beyond its own semantics; LocalGroup does.
+  LocalGroup group(2);
+  EXPECT_THROW(group.run([&](int, Communicator& c) {
+                 std::vector<float> d(1);
+                 c.broadcast(d, 5);
+               }),
+               Error);
+}
+
+TEST(SelfComm, CollectivesAreIdentity) {
+  SelfComm comm;
+  EXPECT_EQ(comm.rank(), 0);
+  EXPECT_EQ(comm.size(), 1);
+  std::vector<float> data{1.0f, 2.0f};
+  comm.allreduce(data, ReduceOp::kAverage);
+  EXPECT_FLOAT_EQ(data[0], 1.0f);
+  auto gathered = comm.allgather(data);
+  EXPECT_EQ(gathered, data);
+  comm.broadcast(data, 0);
+  EXPECT_FLOAT_EQ(data[1], 2.0f);
+}
+
+TEST(ThreadComm, TensorConvenienceOverloads) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    Tensor t = Tensor::full(Shape{4}, static_cast<float>(rank + 1));
+    comm.allreduce(t, ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(t[0], 3.0f);
+  });
+}
+
+}  // namespace
+}  // namespace dkfac::comm

@@ -1,0 +1,111 @@
+#include "core/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dkfac::kfac {
+namespace {
+
+TEST(RoundRobin, CyclesThroughWorkers) {
+  WorkAssignment a = assign_round_robin({4, 4, 4, 4, 4, 4}, 3);
+  EXPECT_EQ(a.owner, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(RoundRobin, SingleWorkerOwnsAll) {
+  WorkAssignment a = assign_round_robin({2, 3, 4}, 1);
+  for (int o : a.owner) EXPECT_EQ(o, 0);
+}
+
+TEST(RoundRobin, MoreWorkersThanFactorsLeavesIdle) {
+  // The §IV motivation: workers beyond the factor count get nothing.
+  WorkAssignment a = assign_round_robin({4, 4}, 8);
+  EXPECT_EQ(a.owned_by(0).size(), 1u);
+  EXPECT_EQ(a.owned_by(1).size(), 1u);
+  for (int r = 2; r < 8; ++r) EXPECT_TRUE(a.owned_by(r).empty());
+}
+
+TEST(LayerWise, PairsFactorsOnOneWorker) {
+  // Factors (A₀,G₁) of layer 0 → rank 0; (A₁,G₂) of layer 1 → rank 1; ...
+  WorkAssignment a = assign_layer_wise({4, 8, 4, 8, 4, 8}, 2);
+  EXPECT_EQ(a.owner, (std::vector<int>{0, 0, 1, 1, 0, 0}));
+}
+
+TEST(LayerWise, OddFactorCountThrows) {
+  EXPECT_THROW(assign_layer_wise({4, 4, 4}, 2), Error);
+}
+
+TEST(SizeBalanced, BalancesSkewedSizes) {
+  // One huge factor plus many small ones: round-robin stacks smalls onto
+  // the big factor's worker; size-balanced does not.
+  std::vector<int64_t> dims{100, 2, 2, 2, 2, 2, 2, 2};
+  WorkAssignment rr = assign_round_robin(dims, 2);
+  WorkAssignment sb = assign_size_balanced(dims, 2);
+  EXPECT_LE(sb.imbalance(dims), rr.imbalance(dims));
+  // The huge factor's owner gets nothing else under size-balancing.
+  const int big_owner = sb.owner[0];
+  EXPECT_EQ(sb.owned_by(big_owner).size(), 1u);
+}
+
+TEST(SizeBalanced, EveryFactorAssignedExactlyOnce) {
+  std::vector<int64_t> dims{7, 3, 9, 1, 5, 5, 2, 8, 8, 4};
+  WorkAssignment a = assign_size_balanced(dims, 3);
+  ASSERT_EQ(a.owner.size(), dims.size());
+  for (int o : a.owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 3);
+  }
+  // owned_by partitions the factor set.
+  std::set<int64_t> seen;
+  for (int r = 0; r < 3; ++r) {
+    for (int64_t f : a.owned_by(r)) {
+      EXPECT_TRUE(seen.insert(f).second) << "factor " << f << " assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), dims.size());
+}
+
+TEST(SizeBalanced, UniformSizesNearPerfectBalance) {
+  std::vector<int64_t> dims(12, 10);
+  WorkAssignment a = assign_size_balanced(dims, 4);
+  EXPECT_DOUBLE_EQ(a.imbalance(dims), 1.0);
+}
+
+TEST(Imbalance, DefinitionSanity) {
+  // 2 workers, loads 8³ vs 0 → imbalance = max/mean = 2.
+  WorkAssignment a;
+  a.workers = 2;
+  a.owner = {0, 0};
+  EXPECT_DOUBLE_EQ(a.imbalance({8, 8}), 2.0);
+}
+
+TEST(EigCost, IsCubic) {
+  EXPECT_DOUBLE_EQ(eig_cost(10), 1000.0);
+  EXPECT_DOUBLE_EQ(eig_cost(0), 0.0);
+}
+
+TEST(MakeAssignment, DispatchesOnStrategy) {
+  std::vector<int64_t> dims{6, 4, 6, 4};
+  EXPECT_EQ(make_assignment(DistributionStrategy::kFactorWise, dims, 2).owner,
+            (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(make_assignment(DistributionStrategy::kLayerWise, dims, 2).owner,
+            (std::vector<int>{0, 0, 1, 1}));
+  const auto sb = make_assignment(DistributionStrategy::kSizeBalanced, dims, 2);
+  EXPECT_EQ(sb.owner.size(), 4u);
+}
+
+TEST(Assignment, DeterministicAcrossCalls) {
+  std::vector<int64_t> dims{13, 7, 25, 1, 9, 9, 30, 2};
+  for (auto strategy : {DistributionStrategy::kFactorWise,
+                        DistributionStrategy::kLayerWise,
+                        DistributionStrategy::kSizeBalanced}) {
+    const auto a = make_assignment(strategy, dims, 4);
+    const auto b = make_assignment(strategy, dims, 4);
+    EXPECT_EQ(a.owner, b.owner);
+  }
+}
+
+}  // namespace
+}  // namespace dkfac::kfac

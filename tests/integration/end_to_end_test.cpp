@@ -1,0 +1,177 @@
+// Cross-module integration tests: full distributed training runs through
+// data → nn → comm → core → optim, checking the paper's qualitative
+// claims end to end.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/resnet.hpp"
+#include "train/trainer.hpp"
+
+namespace dkfac::train {
+namespace {
+
+data::SyntheticSpec spec_for_tests() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 3;
+  spec.height = spec.width = 8;
+  spec.grid = 2;
+  spec.train_size = 256;
+  spec.val_size = 64;
+  spec.noise = 1.2f;
+  spec.seed = 55;
+  return spec;
+}
+
+ModelFactory factory_for_tests() {
+  return [](Rng& rng) { return nn::simple_cnn(3, 4, rng, 4); };
+}
+
+TrainConfig config_for_tests(bool use_kfac, int epochs = 4) {
+  TrainConfig config;
+  config.local_batch = 16;
+  config.epochs = epochs;
+  config.lr = {.base_lr = 0.05f, .warmup_epochs = 0.5f};
+  config.momentum = 0.9f;
+  config.use_kfac = use_kfac;
+  if (use_kfac) {
+    config.kfac.damping = 0.01f;
+    config.kfac.with_update_freq(4);
+  }
+  return config;
+}
+
+class StrategyEndToEnd
+    : public ::testing::TestWithParam<kfac::DistributionStrategy> {};
+
+TEST_P(StrategyEndToEnd, DistributedTrainingConverges) {
+  TrainConfig config = config_for_tests(true);
+  config.kfac.strategy = GetParam();
+  TrainResult result =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 3);
+  EXPECT_GT(result.final_val_accuracy, 0.5f);
+  EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+}
+
+TEST_P(StrategyEndToEnd, StrategiesAgreeOnFinalAccuracy) {
+  // Same math, different placement: final accuracy must agree closely with
+  // the factor-wise reference (small FP drift allowed).
+  TrainConfig config = config_for_tests(true, 3);
+  config.kfac.strategy = kfac::DistributionStrategy::kFactorWise;
+  const TrainResult reference =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  config.kfac.strategy = GetParam();
+  const TrainResult result =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  EXPECT_NEAR(result.final_val_accuracy, reference.final_val_accuracy, 0.08f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, StrategyEndToEnd,
+    ::testing::Values(kfac::DistributionStrategy::kFactorWise,
+                      kfac::DistributionStrategy::kLayerWise,
+                      kfac::DistributionStrategy::kSizeBalanced));
+
+TEST(EndToEnd, ExplicitInverseAlsoTrains) {
+  TrainConfig config = config_for_tests(true);
+  config.kfac.inverse_method = kfac::InverseMethod::kExplicitInverse;
+  TrainResult result =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  EXPECT_GT(result.final_val_accuracy, 0.4f);
+}
+
+TEST(EndToEnd, KfacNotWorseThanSgdAtEqualEpochs) {
+  // The paper's core convergence claim, scaled down: with the same epoch
+  // budget K-FAC's validation accuracy is at least in SGD's neighbourhood
+  // (typically above it on ill-conditioned synthetic data).
+  const TrainResult sgd = train_distributed(factory_for_tests(), spec_for_tests(),
+                                            config_for_tests(false, 5), 2);
+  const TrainResult kfac = train_distributed(factory_for_tests(), spec_for_tests(),
+                                             config_for_tests(true, 5), 2);
+  EXPECT_GE(kfac.best_val_accuracy, sgd.best_val_accuracy - 0.05f);
+}
+
+TEST(EndToEnd, UpdateFrequencyTradesCommForAccuracyGracefully) {
+  // Large update intervals must still train (stale decompositions are the
+  // whole point of §IV-C); accuracy may dip slightly but not collapse.
+  TrainConfig frequent = config_for_tests(true, 4);
+  frequent.kfac.with_update_freq(1);
+  TrainConfig stale = config_for_tests(true, 4);
+  stale.kfac.with_update_freq(16);
+  const TrainResult r_freq =
+      train_distributed(factory_for_tests(), spec_for_tests(), frequent, 2);
+  const TrainResult r_stale =
+      train_distributed(factory_for_tests(), spec_for_tests(), stale, 2);
+  EXPECT_GT(r_stale.final_val_accuracy, 0.4f);
+  EXPECT_GT(r_freq.final_val_accuracy, 0.4f);
+  // And staleness must reduce communication.
+  EXPECT_LT(r_stale.comm_stats.total_bytes(), r_freq.comm_stats.total_bytes());
+}
+
+TEST(EndToEnd, WorldSizeSweepIsConsistent) {
+  // Same global batch (32) split across 1, 2, 4 ranks: final accuracies
+  // must agree (deterministic collectives, identical replicas).
+  std::vector<float> finals;
+  for (int world : {1, 2, 4}) {
+    TrainConfig config = config_for_tests(true, 3);
+    config.local_batch = 32 / world;
+    finals.push_back(
+        train_distributed(factory_for_tests(), spec_for_tests(), config, world)
+            .final_val_accuracy);
+  }
+  EXPECT_NEAR(finals[1], finals[0], 0.08f);
+  EXPECT_NEAR(finals[2], finals[0], 0.08f);
+}
+
+class OptimizerComposition : public ::testing::TestWithParam<OptimizerKind> {};
+
+TEST_P(OptimizerComposition, KfacComposesWithAnyInnerOptimizer) {
+  // Paper §IV: "K-FAC can be used in-place with any standard optimizer,
+  // such as Adam, LARS, or SGD". Each inner optimizer must train with the
+  // preconditioner enabled.
+  TrainConfig config = config_for_tests(true, 5);
+  config.optimizer = GetParam();
+  if (GetParam() == OptimizerKind::kAdam) config.lr.base_lr = 3e-3f;
+  if (GetParam() == OptimizerKind::kLars) config.lr.base_lr = 4.0f;
+  TrainResult result =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  EXPECT_GT(result.final_val_accuracy, 0.4f)
+      << "optimizer kind " << static_cast<int>(GetParam());
+  EXPECT_LT(result.epochs.back().train_loss, result.epochs.front().train_loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, OptimizerComposition,
+                         ::testing::Values(OptimizerKind::kSgd,
+                                           OptimizerKind::kAdam,
+                                           OptimizerKind::kLars));
+
+TEST(EndToEnd, RankTruncatedKfacTrains) {
+  TrainConfig config = config_for_tests(true, 4);
+  config.kfac.eigen_rank_fraction = 0.5f;
+  TrainResult result =
+      train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  EXPECT_GT(result.final_val_accuracy, 0.4f);
+}
+
+TEST(EndToEnd, TrainedModelHookFires) {
+  TrainConfig config = config_for_tests(false, 2);
+  bool fired = false;
+  config.on_trained_model = [&](nn::Layer& model) {
+    fired = true;
+    EXPECT_GT(model.parameter_count(), 0);
+  };
+  train_distributed(factory_for_tests(), spec_for_tests(), config, 2);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EndToEnd, ResnetWithKfacSmoke) {
+  // Depth-faithful ResNet through the whole stack (residual topology,
+  // BatchNorm, projection shortcuts) with K-FAC on 2 ranks.
+  TrainConfig config = config_for_tests(true, 3);
+  ModelFactory resnet = [](Rng& rng) { return nn::resnet_cifar(8, 4, rng, 4); };
+  TrainResult result = train_distributed(resnet, spec_for_tests(), config, 2);
+  EXPECT_GT(result.final_val_accuracy, 0.4f);
+}
+
+}  // namespace
+}  // namespace dkfac::train

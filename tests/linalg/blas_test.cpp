@@ -1,0 +1,164 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::linalg {
+namespace {
+
+TEST(Gemm, SmallKnownProduct) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{7, 7}, rng);
+  EXPECT_TRUE(allclose(matmul(a, Tensor::eye(7)), a));
+  EXPECT_TRUE(allclose(matmul(Tensor::eye(7), a), a));
+}
+
+TEST(Gemm, TransposeFlagsMatchExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  Tensor b = Tensor::randn(Shape{4, 5}, rng);
+  // AᵀB via flag vs via materialised transpose.
+  Tensor via_flag = matmul(a, b, Trans::kYes, Trans::kNo);
+  Tensor via_mat = matmul(transpose(a), b);
+  EXPECT_TRUE(allclose(via_flag, via_mat, 1e-4f, 1e-5f));
+
+  Tensor c = Tensor::randn(Shape{5, 6}, rng);
+  // A Cᵀ
+  Tensor via_flag2 = matmul(a, c, Trans::kNo, Trans::kYes);
+  Tensor via_mat2 = matmul(a, transpose(c));
+  EXPECT_TRUE(allclose(via_flag2, via_mat2, 1e-4f, 1e-5f));
+
+  // Aᵀ·Dᵀ with D 5×4 gives 6×5.
+  Tensor d = Tensor::randn(Shape{5, 4}, rng);
+  Tensor via_flag3 = matmul(a, d, Trans::kYes, Trans::kYes);
+  Tensor via_mat3 = matmul(transpose(a), transpose(d));
+  EXPECT_TRUE(allclose(via_flag3, via_mat3, 1e-4f, 1e-5f));
+}
+
+TEST(Gemm, AlphaBetaAccumulation) {
+  Tensor a(Shape{2, 2}, {1, 0, 0, 1});
+  Tensor b(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor c = Tensor::full(Shape{2, 2}, 10.0f);
+  gemm(2.0f, a, Trans::kNo, b, Trans::kNo, 0.5f, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f * 1.0f + 0.5f * 10.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 2.0f * 4.0f + 0.5f * 10.0f);
+}
+
+TEST(Gemm, InnerDimMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{4, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Gemm, OutputShapeMismatchThrows) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{3, 4});
+  Tensor c(Shape{2, 5});
+  EXPECT_THROW(gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c), Error);
+}
+
+TEST(Gemm, AssociativityProperty) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{5, 6}, rng);
+  Tensor b = Tensor::randn(Shape{6, 7}, rng);
+  Tensor c = Tensor::randn(Shape{7, 4}, rng);
+  Tensor left = matmul(matmul(a, b), c);
+  Tensor right = matmul(a, matmul(b, c));
+  EXPECT_TRUE(allclose(left, right, 1e-3f, 1e-4f));
+}
+
+TEST(Gemm, LargerSizesAgainstNaiveReference) {
+  Rng rng(4);
+  const int64_t m = 97, k = 113, n = 89;  // awkward non-block-multiple sizes
+  Tensor a = Tensor::randn(Shape{m, k}, rng);
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+  Tensor c = matmul(a, b);
+  // Naive reference in double.
+  for (int64_t i = 0; i < m; i += 13) {
+    for (int64_t j = 0; j < n; j += 11) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      }
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3);
+    }
+  }
+}
+
+TEST(Gemv, MatchesGemm) {
+  Rng rng(5);
+  Tensor a = Tensor::randn(Shape{6, 4}, rng);
+  Tensor x = Tensor::randn(Shape{4}, rng);
+  Tensor y(Shape{6});
+  gemv(1.0f, a, Trans::kNo, x, 0.0f, y);
+  Tensor y_ref = matmul(a, x.reshaped(Shape{4, 1}));
+  for (int64_t i = 0; i < 6; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-4f);
+
+  Tensor z(Shape{4});
+  gemv(1.0f, a, Trans::kYes, Tensor::randn(Shape{6}, rng), 0.0f, z);
+  EXPECT_EQ(z.dim(0), 4);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(6);
+  Tensor a = Tensor::randn(Shape{9, 13}, rng);
+  EXPECT_TRUE(allclose(transpose(transpose(a)), a));
+}
+
+TEST(Transpose, Values) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 0), 3.0f);
+}
+
+TEST(Symmetrize, MakesExactlySymmetric) {
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{8, 8}, rng);
+  EXPECT_GT(asymmetry(a), 0.1f);
+  symmetrize(a);
+  EXPECT_EQ(asymmetry(a), 0.0f);
+}
+
+TEST(AddDiagonal, AddsGammaOnly) {
+  Tensor a = Tensor::zeros(Shape{3, 3});
+  add_diagonal(a, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 0.0f);
+}
+
+TEST(FrobeniusDistance, ZeroForIdentical) {
+  Rng rng(8);
+  Tensor a = Tensor::randn(Shape{4, 4}, rng);
+  EXPECT_FLOAT_EQ(frobenius_distance(a, a), 0.0f);
+  Tensor b = a;
+  b.at(1, 1) += 3.0f;
+  EXPECT_NEAR(frobenius_distance(a, b), 3.0f, 1e-5f);
+}
+
+TEST(Gemm, RankOneOuterProductIsFactorShape) {
+  // A Kronecker factor is an outer product aaᵀ — the basic building block.
+  Tensor a(Shape{3, 1}, {1, 2, 3});
+  Tensor f = matmul(a, a, Trans::kNo, Trans::kYes);
+  EXPECT_EQ(f.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(f.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(f.at(1, 2), 6.0f);
+  EXPECT_EQ(asymmetry(f), 0.0f);
+}
+
+}  // namespace
+}  // namespace dkfac::linalg

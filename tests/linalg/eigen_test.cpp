@@ -1,0 +1,174 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::linalg {
+namespace {
+
+// Random symmetric matrix with entries in roughly [-1, 1].
+Tensor random_symmetric(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  symmetrize(a);
+  return a;
+}
+
+// Random SPD matrix: MᵀM + n·I scaled — well conditioned.
+Tensor random_spd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor m = Tensor::randn(Shape{n, n}, rng);
+  Tensor a = matmul(m, m, Trans::kYes, Trans::kNo);
+  add_diagonal(a, 0.1f);
+  return a;
+}
+
+TEST(SymEig, DiagonalMatrix) {
+  Tensor a = Tensor::zeros(Shape{3, 3});
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 1.0f;
+  a.at(2, 2) = 2.0f;
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(e.values[1], 2.0f, 1e-6f);
+  EXPECT_NEAR(e.values[2], 3.0f, 1e-6f);
+}
+
+TEST(SymEig, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Tensor a(Shape{2, 2}, {2, 1, 1, 2});
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(e.values[1], 3.0f, 1e-6f);
+  // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+  const float v = 1.0f / std::sqrt(2.0f);
+  EXPECT_NEAR(std::abs(e.vectors.at(0, 1)), v, 1e-5f);
+  EXPECT_NEAR(std::abs(e.vectors.at(1, 1)), v, 1e-5f);
+}
+
+TEST(SymEig, EmptyAndSingleton) {
+  SymEig e0 = sym_eig(Tensor(Shape{0, 0}));
+  EXPECT_EQ(e0.values.numel(), 0);
+  Tensor a1(Shape{1, 1}, {5.0f});
+  SymEig e1 = sym_eig(a1);
+  EXPECT_NEAR(e1.values[0], 5.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(e1.vectors.at(0, 0)), 1.0f, 1e-6f);
+}
+
+class SymEigSizes : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SymEigSizes, ReconstructsInput) {
+  const int64_t n = GetParam();
+  Tensor a = random_symmetric(n, 100 + static_cast<uint64_t>(n));
+  SymEig e = sym_eig(a);
+  Tensor r = eig_reconstruct(e);
+  EXPECT_LT(frobenius_distance(a, r), 1e-4f * static_cast<float>(n))
+      << "reconstruction failed for n=" << n;
+}
+
+TEST_P(SymEigSizes, VectorsAreOrthonormal) {
+  const int64_t n = GetParam();
+  Tensor a = random_symmetric(n, 200 + static_cast<uint64_t>(n));
+  SymEig e = sym_eig(a);
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)), 1e-4f * static_cast<float>(n));
+}
+
+TEST_P(SymEigSizes, ValuesAscending) {
+  const int64_t n = GetParam();
+  Tensor a = random_symmetric(n, 300 + static_cast<uint64_t>(n));
+  SymEig e = sym_eig(a);
+  for (int64_t i = 1; i < n; ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+}
+
+TEST_P(SymEigSizes, TraceEqualsSumOfEigenvalues) {
+  const int64_t n = GetParam();
+  Tensor a = random_symmetric(n, 400 + static_cast<uint64_t>(n));
+  float trace = 0.0f;
+  for (int64_t i = 0; i < n; ++i) trace += a.at(i, i);
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values.sum(), trace, 1e-3f * static_cast<float>(n));
+}
+
+TEST_P(SymEigSizes, AgreesWithJacobiOracle) {
+  const int64_t n = GetParam();
+  Tensor a = random_spd(n, 500 + static_cast<uint64_t>(n));
+  SymEig ql = sym_eig(a);
+  SymEig jac = sym_eig_jacobi(a);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ql.values[i], jac.values[i],
+                1e-3f + 1e-4f * std::abs(jac.values[i]))
+        << "eigenvalue " << i << " disagrees for n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymEigSizes,
+                         ::testing::Values<int64_t>(2, 3, 5, 8, 16, 33, 64));
+
+TEST(SymEig, SpdHasPositiveEigenvalues) {
+  Tensor a = random_spd(20, 9);
+  SymEig e = sym_eig(a);
+  EXPECT_GT(e.values[0], 0.0f);
+}
+
+TEST(SymEig, RankDeficientGramMatrix) {
+  // aaᵀ from a single vector has rank 1: one positive eigenvalue, rest ~0.
+  // This is exactly the structure of a K-FAC factor from one sample.
+  Rng rng(10);
+  Tensor v = Tensor::randn(Shape{6, 1}, rng);
+  Tensor a = matmul(v, v, Trans::kNo, Trans::kYes);
+  SymEig e = sym_eig(a);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_NEAR(e.values[i], 0.0f, 1e-4f);
+  EXPECT_NEAR(e.values[5], v.dot(v), 1e-3f);
+}
+
+TEST(SymEig, ShiftInvariance) {
+  // eig(A + γI) = eig(A) + γ — the damping identity K-FAC relies on.
+  Tensor a = random_symmetric(12, 11);
+  SymEig base = sym_eig(a);
+  Tensor damped = a;
+  add_diagonal(damped, 0.37f);
+  SymEig shifted = sym_eig(damped);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(shifted.values[i], base.values[i] + 0.37f, 1e-4f);
+  }
+}
+
+TEST(SymEig, NonSquareThrows) {
+  EXPECT_THROW(sym_eig(Tensor(Shape{2, 3})), Error);
+  EXPECT_THROW(sym_eig(Tensor(Shape{4})), Error);
+}
+
+TEST(SymEigJacobi, ReconstructsInput) {
+  Tensor a = random_symmetric(10, 12);
+  SymEig e = sym_eig_jacobi(a);
+  EXPECT_LT(frobenius_distance(a, eig_reconstruct(e)), 1e-3f);
+}
+
+TEST(SymEig, IdentityMatrix) {
+  SymEig e = sym_eig(Tensor::eye(5));
+  for (int64_t i = 0; i < 5; ++i) EXPECT_NEAR(e.values[i], 1.0f, 1e-6f);
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(5)), 1e-5f);
+}
+
+TEST(SymEig, ClusteredEigenvalues) {
+  // Nearly-degenerate spectrum — a stress case for QL shifts.
+  Tensor a = Tensor::zeros(Shape{4, 4});
+  a.at(0, 0) = 1.0f;
+  a.at(1, 1) = 1.0f + 1e-6f;
+  a.at(2, 2) = 1.0f + 2e-6f;
+  a.at(3, 3) = 2.0f;
+  a.at(0, 1) = a.at(1, 0) = 1e-7f;
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values[3], 2.0f, 1e-5f);
+  EXPECT_NEAR(e.values[0], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace dkfac::linalg

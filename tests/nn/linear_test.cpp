@@ -1,0 +1,157 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "grad_check.hpp"
+#include "linalg/blas.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(1);
+  Linear layer(2, 3, /*bias=*/true, rng);
+  // Override init with known weights: W = [[1,2],[3,4],[5,6]], b = [1,1,1].
+  layer.weight().value = Tensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  layer.bias()->value = Tensor::ones(Shape{3});
+
+  Tensor x(Shape{1, 2}, {10, 20});
+  Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 * 10 + 2 * 20 + 1);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3 * 10 + 4 * 20 + 1);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 5 * 10 + 6 * 20 + 1);
+}
+
+TEST(Linear, ShapeValidation) {
+  Rng rng(2);
+  Linear layer(4, 2, true, rng);
+  EXPECT_THROW(layer.forward(Tensor(Shape{3, 5})), Error);
+  EXPECT_THROW(layer.forward(Tensor(Shape{4})), Error);
+  layer.forward(Tensor(Shape{3, 4}));
+  EXPECT_THROW(layer.backward(Tensor(Shape{3, 3})), Error);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  Linear layer(2, 2, false, rng);
+  EXPECT_THROW(layer.backward(Tensor(Shape{1, 2})), Error);
+}
+
+TEST(Linear, GradCheckWithBias) {
+  Rng rng(4);
+  Linear layer(5, 4, true, rng);
+  Tensor x = Tensor::randn(Shape{6, 5}, rng);
+  testing::check_gradients(layer, x);
+}
+
+TEST(Linear, GradCheckWithoutBias) {
+  Rng rng(5);
+  Linear layer(3, 7, false, rng);
+  Tensor x = Tensor::randn(Shape{4, 3}, rng);
+  testing::check_gradients(layer, x);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwards) {
+  Rng rng(6);
+  Linear layer(2, 2, false, rng);
+  Tensor x = Tensor::randn(Shape{3, 2}, rng);
+  Tensor g = Tensor::randn(Shape{3, 2}, rng);
+  layer.forward(x);
+  layer.backward(g);
+  Tensor once = layer.weight().grad;
+  layer.forward(x);
+  layer.backward(g);
+  Tensor twice = layer.weight().grad;
+  EXPECT_TRUE(allclose(twice, once * 2.0f, 1e-5f, 1e-6f));
+}
+
+TEST(Linear, KfacDims) {
+  Rng rng(7);
+  Linear with_bias(5, 3, true, rng);
+  EXPECT_EQ(with_bias.kfac_a_dim(), 6);  // +1 homogeneous coordinate
+  EXPECT_EQ(with_bias.kfac_g_dim(), 3);
+  Linear no_bias(5, 3, false, rng);
+  EXPECT_EQ(no_bias.kfac_a_dim(), 5);
+}
+
+TEST(Linear, KfacAFactorIsMeanOuterProduct) {
+  Rng rng(8);
+  Linear layer(2, 2, false, rng);
+  Tensor x(Shape{2, 2}, {1, 2, 3, 4});
+  layer.forward(x);
+  Tensor a = layer.kfac_a_factor();
+  // A = xᵀx / N with N=2.
+  EXPECT_FLOAT_EQ(a.at(0, 0), (1 * 1 + 3 * 3) / 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), (1 * 2 + 3 * 4) / 2.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), (2 * 2 + 4 * 4) / 2.0f);
+  EXPECT_EQ(linalg::asymmetry(a), 0.0f);
+}
+
+TEST(Linear, KfacAFactorHomogeneousCoordinate) {
+  Rng rng(9);
+  Linear layer(2, 2, true, rng);
+  Tensor x(Shape{1, 2}, {3, 4});
+  layer.forward(x);
+  Tensor a = layer.kfac_a_factor();
+  ASSERT_EQ(a.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(a.at(2, 2), 1.0f);  // E[1·1]
+  EXPECT_FLOAT_EQ(a.at(0, 2), 3.0f);  // E[x₀·1]
+  EXPECT_FLOAT_EQ(a.at(1, 2), 4.0f);
+}
+
+TEST(Linear, KfacGFactorScaling) {
+  Rng rng(10);
+  Linear layer(2, 2, false, rng);
+  Tensor x = Tensor::randn(Shape{4, 2}, rng);
+  layer.forward(x);
+  Tensor g(Shape{4, 2});
+  g.fill_(0.5f);
+  layer.backward(g);
+  Tensor gf = layer.kfac_g_factor();
+  // G = N·gᵀg: each entry = 4 · (4 · 0.25) = 4.
+  EXPECT_FLOAT_EQ(gf.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(gf.at(0, 1), 4.0f);
+}
+
+TEST(Linear, KfacGradRoundTrip) {
+  Rng rng(11);
+  Linear layer(3, 2, true, rng);
+  Tensor x = Tensor::randn(Shape{2, 3}, rng);
+  Tensor g = Tensor::randn(Shape{2, 2}, rng);
+  layer.forward(x);
+  layer.backward(g);
+
+  Tensor combined = layer.kfac_grad();
+  ASSERT_EQ(combined.shape(), Shape({2, 4}));
+  // Last column is the bias gradient.
+  EXPECT_FLOAT_EQ(combined.at(0, 3), layer.bias()->grad[0]);
+  EXPECT_FLOAT_EQ(combined.at(1, 3), layer.bias()->grad[1]);
+  EXPECT_FLOAT_EQ(combined.at(0, 0), layer.weight().grad.at(0, 0));
+
+  // set → get round trip.
+  Tensor replacement = Tensor::randn(Shape{2, 4}, rng);
+  layer.set_kfac_grad(replacement);
+  EXPECT_TRUE(allclose(layer.kfac_grad(), replacement));
+}
+
+TEST(Linear, KfacFactorBeforePassThrows) {
+  Rng rng(12);
+  Linear layer(2, 2, true, rng);
+  EXPECT_THROW(layer.kfac_a_factor(), Error);
+  layer.forward(Tensor(Shape{1, 2}));
+  EXPECT_THROW(layer.kfac_g_factor(), Error);  // no backward yet
+}
+
+TEST(Linear, ParameterEnumeration) {
+  Rng rng(13);
+  Linear layer(3, 2, true, rng, "fc");
+  auto params = layer.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "fc.weight");
+  EXPECT_EQ(params[1]->name, "fc.bias");
+  EXPECT_EQ(layer.parameter_count(), 3 * 2 + 2);
+}
+
+}  // namespace
+}  // namespace dkfac::nn

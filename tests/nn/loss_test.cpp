@@ -1,0 +1,117 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(60);
+  Tensor logits = Tensor::randn(Shape{5, 7}, rng, 0.0f, 3.0f);
+  Tensor p = softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(p.at(i, j), 0.0f);
+      row += p.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToLogitShift) {
+  Tensor a(Shape{1, 3}, {1.0f, 2.0f, 3.0f});
+  Tensor b(Shape{1, 3}, {101.0f, 102.0f, 103.0f});
+  EXPECT_TRUE(allclose(softmax(a), softmax(b), 1e-5f, 1e-6f));
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  Tensor logits(Shape{1, 2}, {1000.0f, -1000.0f});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(p[1], 0.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::zeros(Shape{4, 10});
+  LossResult r = softmax_cross_entropy(logits, {0, 3, 5, 9});
+  EXPECT_NEAR(r.loss, std::log(10.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, PerfectPredictionHasTinyLoss) {
+  Tensor logits = Tensor::zeros(Shape{2, 3});
+  logits.at(0, 1) = 50.0f;
+  logits.at(1, 2) = 50.0f;
+  LossResult r = softmax_cross_entropy(logits, {1, 2});
+  EXPECT_LT(r.loss, 1e-4f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits(Shape{1, 3}, {1.0f, 2.0f, 0.5f});
+  LossResult r = softmax_cross_entropy(logits, {1});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(r.grad.at(0, 0), p.at(0, 0), 1e-6f);
+  EXPECT_NEAR(r.grad.at(0, 1), p.at(0, 1) - 1.0f, 1e-6f);
+  EXPECT_NEAR(r.grad.at(0, 2), p.at(0, 2), 1e-6f);
+}
+
+TEST(CrossEntropy, GradRowsSumToZero) {
+  Rng rng(61);
+  Tensor logits = Tensor::randn(Shape{6, 5}, rng);
+  LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3, 4, 0}, 0.1f);
+  for (int64_t i = 0; i < 6; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 5; ++j) row += r.grad.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, FiniteDifferenceGradient) {
+  Rng rng(62);
+  Tensor logits = Tensor::randn(Shape{3, 4}, rng);
+  const std::vector<int64_t> labels{2, 0, 3};
+  LossResult r = softmax_cross_entropy(logits, labels, 0.05f);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += eps;
+    down[i] -= eps;
+    const float numeric = (softmax_cross_entropy(up, labels, 0.05f).loss -
+                           softmax_cross_entropy(down, labels, 0.05f).loss) /
+                          (2.0f * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3f) << "at index " << i;
+  }
+}
+
+TEST(CrossEntropy, LabelSmoothingRaisesMinimumLoss) {
+  Tensor logits = Tensor::zeros(Shape{1, 4});
+  logits.at(0, 0) = 100.0f;  // saturated correct prediction
+  const float plain = softmax_cross_entropy(logits, {0}, 0.0f).loss;
+  const float smoothed = softmax_cross_entropy(logits, {0}, 0.1f).loss;
+  EXPECT_LT(plain, 1e-4f);
+  EXPECT_GT(smoothed, 1.0f);  // smoothing penalises saturation
+}
+
+TEST(CrossEntropy, InvalidInputsThrow) {
+  Tensor logits = Tensor::zeros(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), Error);          // count
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}), Error);       // range
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}, 1.0f), Error); // smoothing
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 2}, {0.9f, 0.1f,
+                              0.2f, 0.8f,
+                              0.6f, 0.4f});
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 1}), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.0f);
+}
+
+}  // namespace
+}  // namespace dkfac::nn

@@ -1,0 +1,115 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/resnet.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresParameters) {
+  Rng rng_a(1), rng_b(2);  // different seeds → different weights
+  LayerPtr original = resnet_cifar(8, 4, rng_a, 4);
+  LayerPtr restored = resnet_cifar(8, 4, rng_b, 4);
+
+  std::stringstream buffer;
+  save_checkpoint(*original, buffer);
+  load_checkpoint(*restored, buffer);
+
+  auto pa = original->parameters();
+  auto pb = restored->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value) << pa[i]->name;
+  }
+}
+
+TEST(Serialize, RestoredModelProducesIdenticalOutputs) {
+  Rng rng_a(3), rng_b(4), rng_x(5);
+  LayerPtr original = simple_cnn(3, 4, rng_a, 4);
+  LayerPtr restored = simple_cnn(3, 4, rng_b, 4);
+
+  // Run a training forward so BatchNorm running stats are non-trivial.
+  Tensor warm = Tensor::randn(Shape{8, 3, 8, 8}, rng_x);
+  original->forward(warm);
+
+  std::stringstream buffer;
+  save_checkpoint(*original, buffer);
+  load_checkpoint(*restored, buffer);
+
+  original->set_training(false);
+  restored->set_training(false);
+  Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng_x);
+  EXPECT_TRUE(original->forward(x) == restored->forward(x));
+}
+
+TEST(Serialize, BatchNormRunningStatsIncluded) {
+  Rng rng(6);
+  BatchNorm2d bn_src(3, "bn");
+  BatchNorm2d bn_dst(3, "bn");
+  bn_src.forward(Tensor::randn(Shape{16, 3, 4, 4}, rng, 5.0f, 2.0f));
+
+  std::stringstream buffer;
+  save_checkpoint(bn_src, buffer);
+  load_checkpoint(bn_dst, buffer);
+  EXPECT_TRUE(bn_src.running_mean() == bn_dst.running_mean());
+  EXPECT_TRUE(bn_src.running_var() == bn_dst.running_var());
+}
+
+TEST(Serialize, RejectsCorruptMagic) {
+  Rng rng(7);
+  LayerPtr model = mlp(4, 4, 2, rng);
+  std::stringstream buffer;
+  buffer << "NOPE-not-a-checkpoint";
+  EXPECT_THROW(load_checkpoint(*model, buffer), Error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Rng rng(8);
+  LayerPtr model = mlp(4, 4, 2, rng);
+  std::stringstream buffer;
+  save_checkpoint(*model, buffer);
+  std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_checkpoint(*model, cut), Error);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Rng rng(9);
+  LayerPtr small = mlp(4, 4, 2, rng);
+  LayerPtr big = mlp(4, 8, 2, rng);
+  std::stringstream buffer;
+  save_checkpoint(*small, buffer);
+  EXPECT_THROW(load_checkpoint(*big, buffer), Error);
+}
+
+TEST(Serialize, RejectsWrongModelFamily) {
+  Rng rng(10);
+  LayerPtr cnn = simple_cnn(3, 4, rng, 4);
+  LayerPtr fc = mlp(4, 4, 4, rng);
+  std::stringstream buffer;
+  save_checkpoint(*cnn, buffer);
+  EXPECT_THROW(load_checkpoint(*fc, buffer), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng_a(11), rng_b(12);
+  LayerPtr original = mlp(6, 8, 3, rng_a);
+  LayerPtr restored = mlp(6, 8, 3, rng_b);
+  const std::string path = ::testing::TempDir() + "/dkfac_ckpt.bin";
+  save_checkpoint(*original, path);
+  load_checkpoint(*restored, path);
+  auto pa = original->parameters();
+  auto pb = restored->parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value);
+  }
+  EXPECT_THROW(load_checkpoint(*restored, std::string("/nonexistent/x.bin")), Error);
+}
+
+}  // namespace
+}  // namespace dkfac::nn

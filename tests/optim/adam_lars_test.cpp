@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/resnet.hpp"
+#include "optim/adam.hpp"
+#include "optim/lars.hpp"
+
+namespace dkfac::optim {
+namespace {
+
+nn::Parameter make_param(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return nn::Parameter("p", Tensor(Shape{n}, std::move(values)));
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is ≈ lr·sign(g).
+  nn::Parameter p = make_param({0.0f, 0.0f});
+  p.grad = Tensor(Shape{2}, {0.3f, -7.0f});
+  Adam adam({&p}, {.lr = 0.01f});
+  adam.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-5f);
+  EXPECT_NEAR(p.value[1], 0.01f, 1e-5f);
+}
+
+TEST(Adam, OscillatingGradientsStayBounded) {
+  // Alternating ±1 gradients: the first moment averages toward zero while
+  // the second stays near one, so total displacement over many steps is a
+  // small fraction of the lr·steps an SGD-like rule would rack up.
+  nn::Parameter p = make_param({0.0f});
+  Adam adam({&p}, {.lr = 0.1f});
+  for (int i = 0; i < 40; ++i) {
+    p.grad = Tensor(Shape{1}, {i % 2 == 0 ? 1.0f : -1.0f});
+    adam.step();
+  }
+  EXPECT_LT(std::abs(p.value[0]), 0.25f * 40 * 0.1f);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  nn::Parameter p = make_param({10.0f});
+  p.grad = Tensor(Shape{1}, {0.0f});
+  Adam adam({&p}, {.lr = 0.1f, .weight_decay = 1.0f});
+  adam.step();
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+TEST(Adam, StepCounterAndValidation) {
+  nn::Parameter p = make_param({0.0f});
+  Adam adam({&p}, {.lr = 0.1f});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.step();
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_THROW(Adam({&p}, {.lr = 0.0f}), Error);
+  EXPECT_THROW(Adam({&p}, {.lr = 0.1f, .beta1 = 1.0f}), Error);
+}
+
+TEST(Adam, TrainsSmallNetwork) {
+  Rng rng(1);
+  nn::LayerPtr model = nn::mlp(4, 8, 2, rng);
+  Adam adam(model->parameters(), {.lr = 3e-3f});
+  Tensor x = Tensor::randn(Shape{16, 4}, rng);
+  std::vector<int64_t> labels(16);
+  for (int64_t i = 0; i < 16; ++i) labels[static_cast<size_t>(i)] = i % 2;
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int it = 0; it < 200; ++it) {
+    model->zero_grad();
+    nn::LossResult loss = nn::softmax_cross_entropy(model->forward(x), labels);
+    model->backward(loss.grad);
+    adam.step();
+    if (it == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, 0.5f * first_loss);
+}
+
+TEST(Lars, RatioScalesWithWeightNorm) {
+  // Two tensors, same gradient, different weight norm: the bigger-weight
+  // tensor gets the bigger effective step.
+  nn::Parameter small = make_param({0.1f});
+  nn::Parameter big = make_param({10.0f});
+  small.grad = Tensor(Shape{1}, {1.0f});
+  big.grad = Tensor(Shape{1}, {1.0f});
+  Lars lars({&small, &big}, {.lr = 1.0f, .momentum = 0.0f, .trust = 0.01f});
+  lars.step();
+  EXPECT_GT(lars.last_ratio(1), lars.last_ratio(0));
+  EXPECT_NEAR(lars.last_ratio(0), 0.01f * 0.1f / 1.0f, 1e-5f);
+}
+
+TEST(Lars, ZeroWeightFallsBackToPlainUpdate) {
+  nn::Parameter p = make_param({0.0f});
+  p.grad = Tensor(Shape{1}, {1.0f});
+  Lars lars({&p}, {.lr = 0.5f, .momentum = 0.0f});
+  lars.step();
+  EXPECT_FLOAT_EQ(p.value[0], -0.5f);  // ratio = 1
+  EXPECT_FLOAT_EQ(lars.last_ratio(0), 1.0f);
+}
+
+TEST(Lars, MomentumAccumulates) {
+  nn::Parameter p = make_param({0.0f});
+  Lars lars({&p}, {.lr = 1.0f, .momentum = 0.5f});
+  p.grad = Tensor(Shape{1}, {1.0f});
+  lars.step();  // ratio 1 (zero weight), v = 1, p = -1
+  const float after_one = p.value[0];
+  lars.step();
+  EXPECT_LT(p.value[0], after_one);  // momentum keeps pushing
+}
+
+TEST(Lars, WeightDecayEntersTrustRatio) {
+  nn::Parameter p = make_param({2.0f});
+  p.grad = Tensor(Shape{1}, {0.0f});
+  Lars lars({&p}, {.lr = 1.0f, .momentum = 0.0f, .weight_decay = 0.5f,
+                   .trust = 0.1f});
+  lars.step();
+  // u = λw = 1.0; ratio = 0.1·2/1 = 0.2; step = lr·ratio·u = 0.2.
+  EXPECT_NEAR(p.value[0], 1.8f, 1e-5f);
+}
+
+TEST(Lars, InvalidOptionsThrow) {
+  nn::Parameter p = make_param({0.0f});
+  EXPECT_THROW(Lars({&p}, {.lr = -1.0f}), Error);
+  EXPECT_THROW(Lars({&p}, {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f,
+                           .trust = 0.0f}),
+               Error);
+}
+
+}  // namespace
+}  // namespace dkfac::optim

@@ -1,0 +1,119 @@
+#include "sim/arch_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "nn/resnet.hpp"
+
+namespace dkfac::sim {
+namespace {
+
+TEST(ArchStats, Resnet50ParamCount) {
+  // Torchvision ResNet-50 has 25.56M params; our inventory counts only
+  // conv + fc weights (no BN affine, biases folded into the fc a_dim), so
+  // it should land slightly below that.
+  ArchInfo arch = resnet_imagenet_arch(50);
+  EXPECT_GT(arch.total_params(), 23'000'000);
+  EXPECT_LT(arch.total_params(), 26'000'000);
+}
+
+TEST(ArchStats, Resnet101And152Larger) {
+  const int64_t p50 = resnet_imagenet_arch(50).total_params();
+  const int64_t p101 = resnet_imagenet_arch(101).total_params();
+  const int64_t p152 = resnet_imagenet_arch(152).total_params();
+  EXPECT_LT(p50, p101);
+  EXPECT_LT(p101, p152);
+  // Paper quotes ≈25.6M / 44.5M / 60.2M.
+  EXPECT_GT(p101, 40'000'000);
+  EXPECT_LT(p101, 45'000'000);
+  EXPECT_GT(p152, 55'000'000);
+  EXPECT_LT(p152, 61'000'000);
+}
+
+TEST(ArchStats, Resnet50LayerCount) {
+  // 1 stem + 48 block convs + 4 projections + 1 fc = 54 eligible layers.
+  EXPECT_EQ(resnet_imagenet_arch(50).layers.size(), 54u);
+}
+
+TEST(ArchStats, Resnet50FactorDims) {
+  ArchInfo arch = resnet_imagenet_arch(50);
+  const auto dims = arch.factor_dims();
+  EXPECT_EQ(dims.size(), 108u);  // two factors per layer
+  // Largest A factor: stage-4 3×3 conv with 512 input channels → 4608.
+  int64_t max_dim = 0;
+  for (int64_t d : dims) max_dim = std::max(max_dim, d);
+  EXPECT_EQ(max_dim, 4608);
+  // Stem: A = 3·7·7 = 147, G = 64.
+  EXPECT_EQ(arch.layers[0].a_dim, 147);
+  EXPECT_EQ(arch.layers[0].g_dim, 64);
+  EXPECT_EQ(arch.layers[0].spatial, 112 * 112);
+  // Classifier: A = 2048+1, G = 1000.
+  EXPECT_EQ(arch.layers.back().a_dim, 2049);
+  EXPECT_EQ(arch.layers.back().g_dim, 1000);
+}
+
+TEST(ArchStats, SpatialResolutionTracksStrides) {
+  ArchInfo arch = resnet_imagenet_arch(18);
+  // Stage-1 convs run at 56², stage-4 at 7².
+  bool found_56 = false, found_7 = false;
+  for (const LayerShape& l : arch.layers) {
+    if (l.name == "s1.b1.conv1") {
+      EXPECT_EQ(l.spatial, 56 * 56);
+      found_56 = true;
+    }
+    if (l.name == "s4.b2.conv2") {
+      EXPECT_EQ(l.spatial, 7 * 7);
+      found_7 = true;
+    }
+  }
+  EXPECT_TRUE(found_56);
+  EXPECT_TRUE(found_7);
+}
+
+TEST(ArchStats, FactorFlopsSuperLinearInParams) {
+  // Figure 10's premise: factor computation grows super-linearly with
+  // model complexity.
+  const ArchInfo r50 = resnet_imagenet_arch(50);
+  const ArchInfo r101 = resnet_imagenet_arch(101);
+  const ArchInfo r152 = resnet_imagenet_arch(152);
+  const double param_ratio =
+      static_cast<double>(r152.total_params()) / r50.total_params();
+  const double flop_ratio =
+      r152.factor_flops_per_sample() / r50.factor_flops_per_sample();
+  EXPECT_GT(flop_ratio, param_ratio);
+  EXPECT_GT(r101.factor_flops_per_sample(), r50.factor_flops_per_sample());
+}
+
+TEST(ArchStats, CifarResnet32Inventory) {
+  ArchInfo arch = resnet_cifar_arch(32);
+  // n=5: stem + 30 block convs + 2 projections + fc = 34 layers.
+  EXPECT_EQ(arch.layers.size(), 34u);
+  // ~0.46M params for standard ResNet-32.
+  EXPECT_GT(arch.total_params(), 400'000);
+  EXPECT_LT(arch.total_params(), 500'000);
+}
+
+TEST(ArchStats, GradientBytesMatchParams) {
+  ArchInfo arch = resnet_imagenet_arch(50);
+  EXPECT_EQ(arch.gradient_bytes(), arch.total_params() * 4);
+  EXPECT_GT(arch.eigen_bytes(), arch.factor_bytes());  // Λ adds n per factor
+}
+
+TEST(ArchStats, UnsupportedDepthThrows) {
+  EXPECT_THROW(resnet_imagenet_arch(77), Error);
+  EXPECT_THROW(resnet_cifar_arch(9), Error);
+}
+
+TEST(ArchStats, MatchesNnFactoryShapes) {
+  // The shape inventory must agree with the actual nn:: builder: compare
+  // eligible-layer counts for CIFAR ResNet-20.
+  ArchInfo arch = resnet_cifar_arch(20);
+  Rng rng(1);
+  auto net = nn::resnet_cifar(20, 10, rng, 16);
+  EXPECT_EQ(arch.layers.size(), net->kfac_layers().size());
+}
+
+}  // namespace
+}  // namespace dkfac::sim

@@ -1,0 +1,140 @@
+#include "tensor/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(7, 0);
+  Rng b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-3.0f, 2.0f);
+    EXPECT_GE(u, -3.0f);
+    EXPECT_LT(u, 2.0f);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 1000 draws
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalMeanStddevShifted) {
+  Rng rng(77);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0f, 0.5f);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(2024);
+  std::vector<int64_t> v(100);
+  for (int64_t i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int64_t> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleDeterministicPerSeed) {
+  std::vector<int64_t> a(50), b(50);
+  for (int64_t i = 0; i < 50; ++i) a[static_cast<size_t>(i)] = b[static_cast<size_t>(i)] = i;
+  Rng r1(9), r2(9);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, FillNormalFillsEverything) {
+  Rng rng(4);
+  std::vector<float> buf(1000, -123.0f);
+  rng.fill_normal(buf);
+  int untouched = 0;
+  for (float v : buf) untouched += (v == -123.0f);
+  EXPECT_EQ(untouched, 0);
+}
+
+// Chi-squared uniformity check over 16 buckets.
+TEST(Rng, UniformChiSquared) {
+  Rng rng(1234);
+  const int buckets = 16;
+  const int n = 64000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(rng.uniform() * buckets)]++;
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof: 99.9th percentile ≈ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace dkfac

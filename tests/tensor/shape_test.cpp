@@ -1,0 +1,68 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dkfac {
+namespace {
+
+TEST(Shape, DefaultIsEmptyRank0) {
+  Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);  // rank-0 scalar convention
+}
+
+TEST(Shape, InitializerListConstruction) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, NegativeIndexCountsFromEnd) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, OutOfRangeDimThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.dim(-3), Error);
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), Error);
+}
+
+TEST(Shape, ZeroDimensionGivesZeroNumel) {
+  Shape s{4, 0, 3};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace dkfac

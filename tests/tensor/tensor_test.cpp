@@ -1,0 +1,175 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dkfac {
+namespace {
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FromValuesChecksCount) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, FullAndOnes) {
+  Tensor t = Tensor::full(Shape{5}, 2.5f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+  Tensor o = Tensor::ones(Shape{2, 2});
+  EXPECT_EQ(o.sum(), 4.0f);
+}
+
+TEST(Tensor, EyeHasUnitDiagonal) {
+  Tensor i3 = Tensor::eye(3);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(i3.at(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), Error);
+}
+
+TEST(Tensor, At2dBoundsChecked) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0, 3), Error);
+  EXPECT_THROW(t.at(-1, 0), Error);
+}
+
+TEST(Tensor, At4dMatchesNchwLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+  EXPECT_THROW(t.at(0, 0, 4, 0), Error);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  a.axpy_(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+}
+
+TEST(Tensor, AxpyShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a.axpy_(1.0f, b), Error);
+}
+
+TEST(Tensor, MulElementwise) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {4, 5, 6});
+  a.mul_(b);
+  EXPECT_FLOAT_EQ(a[0], 4.0f);
+  EXPECT_FLOAT_EQ(a[1], 10.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+}
+
+TEST(Tensor, LerpMatchesRunningAverage) {
+  // Eq 16: A_k = ξ·A_new + (1-ξ)·A_{k-1}, with lerp_(1-ξ, ξ, A_new) on A.
+  Tensor prev(Shape{2}, {1.0f, 2.0f});
+  Tensor next(Shape{2}, {3.0f, 4.0f});
+  const float xi = 0.9f;
+  prev.lerp_(1.0f - xi, xi, next);
+  EXPECT_NEAR(prev[0], 0.1f * 1.0f + 0.9f * 3.0f, 1e-6f);
+  EXPECT_NEAR(prev[1], 0.1f * 2.0f + 0.9f * 4.0f, 1e-6f);
+}
+
+TEST(Tensor, ScaleAndAddScalar) {
+  Tensor t(Shape{2}, {1, -2});
+  t.scale_(2.0f).add_scalar_(1.0f);
+  EXPECT_FLOAT_EQ(t[0], 3.0f);
+  EXPECT_FLOAT_EQ(t[1], -3.0f);
+}
+
+TEST(Tensor, ClampMin) {
+  Tensor t(Shape{3}, {-1.0f, 0.5f, 2.0f});
+  t.clamp_min_(0.0f);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 0.5f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.min(), -4.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(30.0f));
+}
+
+TEST(Tensor, DotIsFrobeniusInnerProduct) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(a.dot(b), 5 + 12 + 21 + 32);
+}
+
+TEST(Tensor, KahanSumStaysAccurateForManySmallValues) {
+  const int64_t n = 1 << 20;
+  Tensor t = Tensor::full(Shape{n}, 0.1f);
+  // Naive FP32 accumulation drifts by ~1e2 here; Kahan stays within 0.5 of
+  // n * fp32(0.1), whose rounding already differs from 0.1 by ~1.5e-9·n.
+  const double expected = static_cast<double>(n) * static_cast<double>(0.1f);
+  EXPECT_NEAR(t.sum(), expected, 0.5);
+}
+
+TEST(Tensor, ValueSemanticsDeepCopy) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, OperatorArithmetic) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{2}, {3, 4});
+  Tensor c = a + b;
+  Tensor d = b - a;
+  Tensor e = a * 3.0f;
+  EXPECT_FLOAT_EQ(c[0], 4.0f);
+  EXPECT_FLOAT_EQ(d[1], 2.0f);
+  EXPECT_FLOAT_EQ(e[1], 6.0f);
+}
+
+TEST(Tensor, AllcloseRespectsTolerance) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(allclose(a, b));
+  Tensor c(Shape{2}, {1.1f, 2.0f});
+  EXPECT_FALSE(allclose(a, c));
+  Tensor d(Shape{2, 1}, {1.0f, 2.0f});
+  EXPECT_FALSE(allclose(a, d));  // shape mismatch
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(42);
+  Tensor t = Tensor::randn(Shape{20000}, rng);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.05f);
+  // Var ≈ 1: E[x²] with mean≈0.
+  EXPECT_NEAR(t.dot(t) / static_cast<float>(t.numel()), 1.0f, 0.05f);
+}
+
+TEST(Tensor, MeanOfEmptyThrows) {
+  Tensor t(Shape{0});
+  EXPECT_THROW(t.mean(), Error);
+}
+
+}  // namespace
+}  // namespace dkfac
