@@ -32,6 +32,13 @@ struct CommStats {
   uint64_t broadcast_calls = 0;
   uint64_t broadcast_bytes = 0;
 
+  // Kronecker-factor exchange accounting (filled by KfacPreconditioner):
+  // the bytes a dense n×n factor allreduce would have shipped vs the bytes
+  // actually shipped (upper-triangle packed when symmetric_comm is on).
+  // factor_packed_bytes is already included in allreduce_bytes.
+  uint64_t factor_dense_bytes = 0;
+  uint64_t factor_packed_bytes = 0;
+
   uint64_t total_bytes() const {
     return allreduce_bytes + allgather_bytes + broadcast_bytes;
   }
@@ -59,6 +66,13 @@ class Communicator {
 
   const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Records one factor exchange: `dense_bytes` is the full n×n payload,
+  /// `actual_bytes` what was really shipped (equal when packing is off).
+  void record_factor_volume(uint64_t dense_bytes, uint64_t actual_bytes) {
+    stats_.factor_dense_bytes += dense_bytes;
+    stats_.factor_packed_bytes += actual_bytes;
+  }
 
   // ---- tensor conveniences ---------------------------------------------
 

@@ -13,6 +13,7 @@
 // launch overheads, the fabric of the paper's Frontera GPU subsystem.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -43,6 +44,23 @@ struct CostModel {
     const double p = ranks;
     return (p - 1.0) * latency_s +
            (p - 1.0) / p * static_cast<double>(total_bytes) / effective_bandwidth();
+  }
+
+  /// Fusion-buffer capacity that keeps the per-chunk latency term at most
+  /// `max_latency_fraction` of the bandwidth term for a ring allreduce:
+  /// chunks at least p·α·β_eff / f bytes stay bandwidth-dominated. Clamped
+  /// to [1 MB, 64 MB] — Horovod's practical fusion-buffer range.
+  uint64_t recommended_fusion_bytes(int ranks,
+                                    double max_latency_fraction = 0.05) const {
+    DKFAC_CHECK(ranks >= 1);
+    DKFAC_CHECK(max_latency_fraction > 0.0 && max_latency_fraction < 1.0);
+    constexpr uint64_t kMinBytes = 1ull << 20;
+    constexpr uint64_t kMaxBytes = 64ull << 20;
+    if (ranks == 1) return kMaxBytes / 2;  // no collectives issued anyway
+    const double bytes = static_cast<double>(ranks) * latency_s *
+                         effective_bandwidth() / max_latency_fraction;
+    if (bytes >= static_cast<double>(kMaxBytes)) return kMaxBytes;
+    return std::max(kMinBytes, static_cast<uint64_t>(bytes));
   }
 
   /// Binomial-tree broadcast of `bytes` from one root.

@@ -11,9 +11,21 @@ FusionBuffer::FusionBuffer(Communicator& comm, size_t capacity_bytes)
   DKFAC_CHECK(capacity_elements_ > 0) << "fusion buffer too small";
 }
 
-void FusionBuffer::add(std::span<float> view) { views_.push_back(view); }
+void FusionBuffer::add(std::span<float> view) {
+  // Zero-length views carry no payload; registering them would only issue
+  // empty collectives.
+  if (!view.empty()) views_.push_back(view);
+}
 
 void FusionBuffer::execute(ReduceOp op) {
+  // Registrations are consumed by this call even when a collective throws
+  // mid-chunk: leaving stale views (and their dangling spans) behind would
+  // corrupt the next execute() after a failed step.
+  struct ClearOnExit {
+    std::vector<std::span<float>>& views;
+    ~ClearOnExit() { views.clear(); }
+  } guard{views_};
+
   last_chunk_count_ = 0;
   size_t view_index = 0;
   size_t offset_in_view = 0;  // resume point for views larger than a chunk
@@ -51,7 +63,6 @@ void FusionBuffer::execute(ReduceOp op) {
                 views_[p.view].begin() + static_cast<ptrdiff_t>(p.view_offset));
     }
   }
-  views_.clear();
 }
 
 }  // namespace dkfac::comm

@@ -1,0 +1,50 @@
+#include "comm/symmetric_packer.hpp"
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+namespace {
+
+int64_t checked_dim(const Tensor& m) {
+  DKFAC_CHECK(m.ndim() == 2 && m.dim(0) == m.dim(1))
+      << "SymmetricPacker needs a square matrix, got " << m.shape();
+  return m.dim(0);
+}
+
+}  // namespace
+
+int64_t SymmetricPacker::packed_size(int64_t n) {
+  DKFAC_CHECK(n >= 0) << "negative matrix dimension " << n;
+  return n * (n + 1) / 2;
+}
+
+void SymmetricPacker::pack(const Tensor& m, std::span<float> out) {
+  const int64_t n = checked_dim(m);
+  DKFAC_CHECK(static_cast<int64_t>(out.size()) == packed_size(n))
+      << "packed span holds " << out.size() << " elements, need "
+      << packed_size(n) << " for a " << n << "×" << n << " matrix";
+  const float* row = m.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n; ++i, row += n) {
+    for (int64_t j = i; j < n; ++j) *dst++ = row[j];
+  }
+}
+
+void SymmetricPacker::unpack(std::span<const float> in, Tensor& m) {
+  const int64_t n = checked_dim(m);
+  DKFAC_CHECK(static_cast<int64_t>(in.size()) == packed_size(n))
+      << "packed span holds " << in.size() << " elements, need "
+      << packed_size(n) << " for a " << n << "×" << n << " matrix";
+  float* data = m.data();
+  const float* src = in.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const float v = *src++;
+      data[i * n + j] = v;
+      data[j * n + i] = v;
+    }
+  }
+}
+
+}  // namespace dkfac::comm

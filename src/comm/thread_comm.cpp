@@ -21,19 +21,20 @@ void ThreadComm::allreduce(std::span<float> data, ReduceOp op) {
   st.send_slots[static_cast<size_t>(rank_)] = data;
   st.barrier.arrive_and_wait();
 
-  std::vector<float> result(data.size());
+  // Rank 0's contribution seeds the scratch, so no zero-fill pass is needed
+  // and the buffer can be reused allocation-free across calls.
+  reduce_scratch_.resize(data.size());
+  std::vector<float>& result = reduce_scratch_;
   for (int r = 0; r < st.size; ++r) {
     const auto src = st.send_slots[static_cast<size_t>(r)];
     DKFAC_CHECK(src.size() == data.size())
         << "allreduce length mismatch: rank " << r << " sent " << src.size()
         << " elements, rank " << rank_ << " sent " << data.size();
-    if (op == ReduceOp::kMax) {
-      if (r == 0) {
-        for (size_t i = 0; i < data.size(); ++i) result[i] = src[i];
-      } else {
-        for (size_t i = 0; i < data.size(); ++i) {
-          result[i] = std::max(result[i], src[i]);
-        }
+    if (r == 0) {
+      std::copy(src.begin(), src.end(), result.begin());
+    } else if (op == ReduceOp::kMax) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        result[i] = std::max(result[i], src[i]);
       }
     } else {
       for (size_t i = 0; i < data.size(); ++i) result[i] += src[i];

@@ -82,6 +82,9 @@ class ThreadComm final : public Communicator {
 
   int rank_;
   std::shared_ptr<detail::GroupState> state_;
+  /// Reduction scratch reused across allreduce calls — the factor/gradient
+  /// exchange hits this path every iteration, so it must not allocate.
+  std::vector<float> reduce_scratch_;
 };
 
 /// Factory/owner of a fixed-size thread communicator group.

@@ -68,6 +68,17 @@ struct KfacOptions {
   /// k·n+k. 1.0 = exact (default).
   float eigen_rank_fraction = 1.0f;
 
+  /// Ship only the upper triangle of each (symmetric) Kronecker factor in
+  /// the fused allreduce — n(n+1)/2 instead of n² elements per factor, at
+  /// most ~55% of the dense payload for real layer sizes. The unpack step
+  /// mirrors the triangle, so factors also stay exactly symmetric.
+  bool symmetric_comm = true;
+
+  /// Fusion-buffer capacity for the factor allreduce, in bytes.
+  /// 0 (default) derives the capacity from comm::CostModel so each chunk
+  /// stays bandwidth-dominated at the current world size.
+  size_t fusion_capacity_bytes = 0;
+
   /// Sets both frequencies from the paper's single knob: eigendecompositions
   /// every `freq`, factors every `freq/10` (min 1).
   KfacOptions& with_update_freq(int freq) {
@@ -85,6 +96,10 @@ struct KfacOptions {
     DKFAC_CHECK(factor_update_freq >= 1 && inv_update_freq >= 1);
     DKFAC_CHECK(eigen_rank_fraction > 0.0f && eigen_rank_fraction <= 1.0f)
         << "eigen_rank_fraction must be in (0, 1]";
+    DKFAC_CHECK(fusion_capacity_bytes == 0 ||
+                fusion_capacity_bytes >= sizeof(float))
+        << "fusion_capacity_bytes must be 0 (cost-model derived) or hold at "
+           "least one element";
     DKFAC_CHECK(inv_update_freq % factor_update_freq == 0)
         << "eigendecomposition interval (" << inv_update_freq
         << ") must be a multiple of the factor interval (" << factor_update_freq

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "comm/cost_model.hpp"
+#include "comm/symmetric_packer.hpp"
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -18,12 +20,26 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Fusion-buffer capacity for the factor allreduce: the explicit option
+/// when set, otherwise the α–β cost model's bandwidth-dominated chunk size
+/// for this world size. Validates first — this runs in the member-init
+/// list, before the constructor body, so a bad option set must surface as
+/// an options error rather than a low-level fusion-buffer failure.
+size_t factor_fusion_capacity(const KfacOptions& options, int ranks) {
+  options.validate();
+  if (options.fusion_capacity_bytes > 0) return options.fusion_capacity_bytes;
+  return comm::CostModel{}.recommended_fusion_bytes(ranks);
+}
+
 }  // namespace
 
 KfacPreconditioner::KfacPreconditioner(nn::Layer& model, comm::Communicator& comm,
                                        KfacOptions options)
-    : model_(model), comm_(comm), options_(options) {
-  options_.validate();
+    : model_(model),
+      comm_(comm),
+      options_(options),
+      fusion_(comm_, factor_fusion_capacity(options_, comm_.size())) {
+  // options_ already validated by factor_fusion_capacity in the init list.
   for (nn::KfacCapturable* layer : model_.kfac_layers()) {
     LayerState state;
     state.layer = layer;
@@ -38,21 +54,30 @@ KfacPreconditioner::KfacPreconditioner(nn::Layer& model, comm::Communicator& com
   assignment_ = make_assignment(options_.strategy, factor_dims_, comm_.size());
 }
 
+// Every runtime retune goes through the same validate() as construction, on
+// a copy so a rejected value leaves the live options untouched.
+
 void KfacPreconditioner::set_damping(float damping) {
-  DKFAC_CHECK(damping > 0.0f);
-  options_.damping = damping;
+  KfacOptions next = options_;
+  next.damping = damping;
+  next.validate();
+  options_ = next;
 }
 
 void KfacPreconditioner::set_lr(float lr) {
-  DKFAC_CHECK(lr > 0.0f);
-  options_.lr = lr;
+  KfacOptions next = options_;
+  next.lr = lr;
+  next.validate();
+  options_ = next;
 }
 
 void KfacPreconditioner::set_update_freqs(int factor_update_freq,
                                           int inv_update_freq) {
-  options_.factor_update_freq = factor_update_freq;
-  options_.inv_update_freq = inv_update_freq;
-  options_.validate();
+  KfacOptions next = options_;
+  next.factor_update_freq = factor_update_freq;
+  next.inv_update_freq = inv_update_freq;
+  next.validate();
+  options_ = next;
 }
 
 void KfacPreconditioner::step() {
@@ -101,25 +126,53 @@ void KfacPreconditioner::update_factors() {
     }
   }
 
-  // Allreduce all factors in one fused buffer (Horovod fusion-buffer
-  // style) — Algorithm 1 line 8.
-  int64_t total = 0;
-  for (int64_t d : factor_dims_) total += d * d;
-  std::vector<float> fused(static_cast<size_t>(total));
-  int64_t offset = 0;
-  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-    const Tensor& cov = factor(f).cov;
-    std::copy(cov.data(), cov.data() + cov.numel(), fused.data() + offset);
-    offset += cov.numel();
+  // Allreduce all factors through the capacity-chunked fusion buffer —
+  // Algorithm 1 line 8. With symmetric_comm only the upper triangle of
+  // each factor is shipped (n(n+1)/2 of n² elements).
+  uint64_t dense_bytes = 0;
+  for (int64_t d : factor_dims_) {
+    dense_bytes += static_cast<uint64_t>(d * d) * sizeof(float);
   }
-  comm_.allreduce(fused, comm::ReduceOp::kAverage);
-  offset = 0;
-  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-    Tensor& cov = factor(f).cov;
-    std::copy(fused.data() + offset, fused.data() + offset + cov.numel(),
-              cov.data());
-    offset += cov.numel();
+
+  if (options_.symmetric_comm) {
+    int64_t payload = 0;
+    for (int64_t d : factor_dims_) payload += comm::SymmetricPacker::packed_size(d);
+    packed_.resize(static_cast<size_t>(payload));
+    int64_t offset = 0;
+    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+      const Tensor& cov = factor(f).cov;
+      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
+      const std::span<float> view(packed_.data() + offset,
+                                  static_cast<size_t>(count));
+      comm::SymmetricPacker::pack(cov, view);
+      fusion_.add(view);
+      offset += count;
+    }
+    fusion_.execute(comm::ReduceOp::kAverage);
+    offset = 0;
+    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+      Tensor& cov = factor(f).cov;
+      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
+      comm::SymmetricPacker::unpack(
+          std::span<const float>(packed_.data() + offset,
+                                 static_cast<size_t>(count)),
+          cov);
+      offset += count;
+    }
+    report_.factor_comm_bytes = static_cast<uint64_t>(payload) * sizeof(float);
+  } else {
+    // Dense path: the fusion buffer reduces each factor's storage in place,
+    // so no monolithic copy of all factors is ever materialised.
+    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+      fusion_.add(factor(f).cov);
+    }
+    fusion_.execute(comm::ReduceOp::kAverage);
+    report_.factor_comm_bytes = dense_bytes;
   }
+
+  report_.factor_dense_bytes = dense_bytes;
+  report_.factor_chunks = fusion_.last_chunk_count();
+  comm_.record_factor_volume(dense_bytes, report_.factor_comm_bytes);
 }
 
 void KfacPreconditioner::decompose_factor(FactorState& state) const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/fusion.hpp"
 #include "core/assignment.hpp"
 #include "core/options.hpp"
 #include "nn/layer.hpp"
@@ -72,6 +73,13 @@ class KfacPreconditioner {
     double factor_seconds = 0.0;
     double decomposition_seconds = 0.0;
     double precondition_seconds = 0.0;
+    /// Bytes a dense n×n factor allreduce would ship this step (0 on skip
+    /// iterations) and the bytes actually shipped (triangle-packed when
+    /// `symmetric_comm` is on, else equal to dense).
+    uint64_t factor_dense_bytes = 0;
+    uint64_t factor_comm_bytes = 0;
+    /// Collectives the fused factor allreduce was split into.
+    size_t factor_chunks = 0;
   };
   const StepReport& last_report() const { return report_; }
 
@@ -118,6 +126,10 @@ class KfacPreconditioner {
   nn::Layer& model_;
   comm::Communicator& comm_;
   KfacOptions options_;
+  /// Capacity-chunked fused allreduce shared by every factor update.
+  comm::FusionBuffer fusion_;
+  /// Staging area for triangle-packed factor payloads, reused across steps.
+  std::vector<float> packed_;
   std::vector<LayerState> layers_;
   std::vector<int64_t> factor_dims_;
   WorkAssignment assignment_;

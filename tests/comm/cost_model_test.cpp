@@ -65,6 +65,33 @@ TEST(CostModel, InvalidRanksThrow) {
   EXPECT_THROW(m.allgather_time(8, -1), Error);
 }
 
+TEST(CostModel, RecommendedFusionBytesWithinClampAndMonotonic) {
+  CostModel m;
+  constexpr uint64_t kMin = 1ull << 20;
+  constexpr uint64_t kMax = 64ull << 20;
+  uint64_t prev = 0;
+  for (int ranks : {2, 4, 16, 64, 512}) {
+    const uint64_t bytes = m.recommended_fusion_bytes(ranks);
+    EXPECT_GE(bytes, kMin) << ranks;
+    EXPECT_LE(bytes, kMax) << ranks;
+    // Higher rank counts pay more launch latency per chunk, so the
+    // recommended chunk grows (until the clamp).
+    EXPECT_GE(bytes, prev) << ranks;
+    prev = bytes;
+  }
+}
+
+TEST(CostModel, RecommendedFusionBytesTracksLatencyBandwidthProduct) {
+  CostModel fast_net;
+  CostModel slow_launch = fast_net;
+  slow_launch.latency_s = 10.0 * fast_net.latency_s;
+  // Costlier launches demand bigger chunks to stay bandwidth-dominated.
+  EXPECT_GE(slow_launch.recommended_fusion_bytes(8),
+            fast_net.recommended_fusion_bytes(8));
+  EXPECT_THROW(fast_net.recommended_fusion_bytes(0), Error);
+  EXPECT_THROW(fast_net.recommended_fusion_bytes(8, 0.0), Error);
+}
+
 TEST(CostModel, AllgatherCheaperThanAllreduceSameBytes) {
   // Ring allgather moves half the data of ring allreduce.
   CostModel m;

@@ -78,6 +78,85 @@ TEST(FusionBuffer, TinyCapacityThrows) {
   EXPECT_THROW(FusionBuffer(comm, 0), Error);
 }
 
+TEST(FusionBuffer, ExactFitViewUsesSingleChunk) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    // View exactly equal to the buffer capacity — must not spill into a
+    // second (empty) chunk.
+    std::vector<float> v(256, static_cast<float>(rank + 1));
+    FusionBuffer fusion(comm, 256 * sizeof(float));
+    fusion.add(v);
+    fusion.execute(ReduceOp::kSum);
+    EXPECT_EQ(fusion.last_chunk_count(), 1u);
+    for (float x : v) EXPECT_FLOAT_EQ(x, 3.0f);
+  });
+}
+
+TEST(FusionBuffer, EmptyViewsAreIgnored) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> empty;
+    std::vector<float> v(8, static_cast<float>(rank));
+    FusionBuffer fusion(comm, 1 << 10);
+    fusion.add(empty);
+    EXPECT_EQ(fusion.pending_views(), 0u);
+    fusion.add(v);
+    fusion.add(std::span<float>{});
+    fusion.execute(ReduceOp::kSum);
+    EXPECT_EQ(fusion.last_chunk_count(), 1u);
+    for (float x : v) EXPECT_FLOAT_EQ(x, 1.0f);
+  });
+}
+
+/// Size-1 communicator that throws on the first allreduce, then acts as
+/// the identity (SelfComm is final, so this reimplements its surface).
+class FlakyComm final : public Communicator {
+ public:
+  using Communicator::allreduce;
+  using Communicator::broadcast;
+
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+
+  void allreduce(std::span<float> data, ReduceOp op) override {
+    if (!failed_once_) {
+      failed_once_ = true;
+      throw Error("injected allreduce failure");
+    }
+    stats_.allreduce_calls++;
+    stats_.allreduce_bytes += data.size_bytes();
+    (void)op;
+  }
+
+  std::vector<float> allgather(std::span<const float> send) override {
+    return {send.begin(), send.end()};
+  }
+
+  void broadcast(std::span<float>, int) override {}
+  void barrier() override {}
+
+ private:
+  bool failed_once_ = false;
+};
+
+TEST(FusionBuffer, ThrowingCollectiveClearsRegistrations) {
+  FlakyComm comm;
+  FusionBuffer fusion(comm, 4 * sizeof(float));
+  std::vector<float> a(4, 1.0f);
+  std::vector<float> b(4, 2.0f);
+  fusion.add(a);
+  fusion.add(b);
+  EXPECT_THROW(fusion.execute(ReduceOp::kSum), Error);
+  // A failed step must not leave stale views behind to corrupt the next one.
+  EXPECT_EQ(fusion.pending_views(), 0u);
+
+  std::vector<float> c(2, 5.0f);
+  fusion.add(c);
+  fusion.execute(ReduceOp::kSum);
+  EXPECT_EQ(fusion.last_chunk_count(), 1u);
+  EXPECT_FLOAT_EQ(c[0], 5.0f);  // SelfComm allreduce is identity
+}
+
 TEST(FusionBuffer, TensorOverload) {
   LocalGroup group(2);
   group.run([&](int rank, Communicator& comm) {

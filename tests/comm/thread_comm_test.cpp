@@ -155,6 +155,40 @@ TEST(ThreadComm, StatsAccumulate) {
   });
 }
 
+TEST(ThreadComm, ByteAccountingExactAcrossRepeatedAllreduces) {
+  // Regression for the scratch-buffer reuse in allreduce: varying payload
+  // sizes (grow, shrink, regrow) must reduce correctly and every call must
+  // add exactly size_bytes() to the counter.
+  LocalGroup group(3);
+  group.run([&](int rank, Communicator& comm) {
+    const std::vector<size_t> sizes{100, 7, 512, 1, 64};
+    uint64_t expected_bytes = 0;
+    uint64_t expected_calls = 0;
+    for (size_t n : sizes) {
+      std::vector<float> data(n, static_cast<float>(rank + 1));
+      comm.allreduce(data, ReduceOp::kSum);
+      expected_bytes += n * sizeof(float);
+      ++expected_calls;
+      // Sum over ranks 1+2+3 — stale scratch contents must never leak in.
+      for (float v : data) ASSERT_FLOAT_EQ(v, 6.0f) << "payload size " << n;
+      EXPECT_EQ(comm.stats().allreduce_bytes, expected_bytes);
+      EXPECT_EQ(comm.stats().allreduce_calls, expected_calls);
+    }
+  });
+}
+
+TEST(ThreadComm, FactorVolumeCountersAccumulate) {
+  SelfComm comm;
+  EXPECT_EQ(comm.stats().factor_dense_bytes, 0u);
+  comm.record_factor_volume(100, 55);
+  comm.record_factor_volume(100, 55);
+  EXPECT_EQ(comm.stats().factor_dense_bytes, 200u);
+  EXPECT_EQ(comm.stats().factor_packed_bytes, 110u);
+  comm.reset_stats();
+  EXPECT_EQ(comm.stats().factor_dense_bytes, 0u);
+  EXPECT_EQ(comm.stats().factor_packed_bytes, 0u);
+}
+
 TEST(ThreadComm, ResetStats) {
   SelfComm comm;
   std::vector<float> data(8, 1.0f);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "comm/thread_comm.hpp"
@@ -526,12 +527,147 @@ TEST(Kfac, PiDampingWorksDistributed) {
   });
 }
 
+TEST(Kfac, InvalidFusionCapacityRejectedAsOptionsError) {
+  KfacOptions opts;
+  opts.fusion_capacity_bytes = 3;  // smaller than one float
+  EXPECT_THROW(opts.validate(), Error);
+  opts.fusion_capacity_bytes = 0;  // auto: derive from the cost model
+  EXPECT_NO_THROW(opts.validate());
+
+  // Construction must surface the same options error, not a low-level
+  // fusion-buffer failure from the member-init list.
+  Rng rng(180);
+  nn::LayerPtr model = nn::mlp(3, 4, 2, rng);
+  comm::SelfComm comm;
+  KfacOptions bad = base_options();
+  bad.fusion_capacity_bytes = 2;
+  EXPECT_THROW(KfacPreconditioner(*model, comm, bad), Error);
+  KfacOptions tiny = base_options();
+  tiny.fusion_capacity_bytes = sizeof(float);  // legal 1-element buffer
+  EXPECT_NO_THROW(KfacPreconditioner(*model, comm, tiny));
+}
+
 TEST(Kfac, InvalidRankFractionThrows) {
   KfacOptions opts;
   opts.eigen_rank_fraction = 0.0f;
   EXPECT_THROW(opts.validate(), Error);
   opts.eigen_rank_fraction = 1.5f;
   EXPECT_THROW(opts.validate(), Error);
+}
+
+TEST(Kfac, SymmetricCommMatchesDensePath) {
+  // Triangle-packed factor communication must produce the same
+  // preconditioned gradients as dense factor communication.
+  auto run_with = [](bool symmetric) {
+    std::vector<Tensor> grads;
+    comm::LocalGroup group(2);
+    std::mutex mu;
+    group.run([&](int rank, comm::Communicator& comm) {
+      Rng rng(140);
+      nn::LayerPtr model = nn::mlp(6, 8, 3, rng);
+      KfacOptions opts = base_options();
+      opts.symmetric_comm = symmetric;
+      KfacPreconditioner kfac(*model, comm, opts);
+      for (int it = 0; it < 3; ++it) {
+        run_batch(*model, 8, 6, 3, 141 + static_cast<uint64_t>(it) +
+                                       static_cast<uint64_t>(rank));
+        for (nn::Parameter* p : model->parameters()) {
+          comm.allreduce(p->grad, comm::ReduceOp::kAverage);
+        }
+        kfac.step();
+      }
+      if (rank == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (nn::KfacCapturable* l : model->kfac_layers()) {
+          grads.push_back(l->kfac_grad());
+        }
+      }
+    });
+    return grads;
+  };
+
+  const std::vector<Tensor> dense = run_with(false);
+  const std::vector<Tensor> packed = run_with(true);
+  ASSERT_EQ(dense.size(), packed.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_TRUE(allclose(packed[i], dense[i], 1e-4f, 1e-5f)) << "layer " << i;
+  }
+}
+
+TEST(Kfac, SymmetricCommShipsFewerFactorBytes) {
+  comm::LocalGroup group(2);
+  std::vector<uint64_t> shipped(2);
+  std::vector<uint64_t> dense_equiv(2);
+  for (int variant = 0; variant < 2; ++variant) {
+    group.run([&](int rank, comm::Communicator& comm) {
+      Rng rng(150);
+      nn::LayerPtr model = nn::mlp(8, 12, 4, rng);
+      KfacOptions opts = base_options();
+      opts.symmetric_comm = variant == 1;
+      comm.reset_stats();
+      KfacPreconditioner kfac(*model, comm, opts);
+      run_batch(*model, 8, 8, 4, 151);
+      kfac.step();
+      if (rank == 0) {
+        shipped[static_cast<size_t>(variant)] = comm.stats().factor_packed_bytes;
+        dense_equiv[static_cast<size_t>(variant)] = comm.stats().factor_dense_bytes;
+      }
+    });
+  }
+  // Dense path: shipped == dense equivalent. Packed path: strictly less,
+  // and bounded by the worst per-factor ratio (n+1)/2n ≤ (1+1)/2 → use 60%
+  // as a generous ceiling for these small test factors.
+  EXPECT_EQ(shipped[0], dense_equiv[0]);
+  EXPECT_EQ(dense_equiv[1], dense_equiv[0]);
+  EXPECT_LT(shipped[1], (dense_equiv[1] * 6) / 10);
+}
+
+TEST(Kfac, StepReportSurfacesFactorCommBytes) {
+  Rng rng(160);
+  nn::LayerPtr model = nn::mlp(5, 6, 3, rng);
+  comm::SelfComm comm;
+  KfacOptions opts = base_options();
+  opts.factor_update_freq = 2;
+  opts.inv_update_freq = 2;
+  KfacPreconditioner kfac(*model, comm, opts);
+
+  uint64_t expected_dense = 0;
+  uint64_t expected_packed = 0;
+  for (int64_t d : kfac.factor_dims()) {
+    expected_dense += static_cast<uint64_t>(d * d) * sizeof(float);
+    expected_packed += static_cast<uint64_t>(d * (d + 1) / 2) * sizeof(float);
+  }
+
+  run_batch(*model, 8, 5, 3, 161);
+  kfac.step();  // iteration 0: factor update
+  EXPECT_EQ(kfac.last_report().factor_dense_bytes, expected_dense);
+  EXPECT_EQ(kfac.last_report().factor_comm_bytes, expected_packed);
+  EXPECT_GE(kfac.last_report().factor_chunks, 1u);
+  EXPECT_EQ(comm.stats().factor_dense_bytes, expected_dense);
+  EXPECT_EQ(comm.stats().factor_packed_bytes, expected_packed);
+
+  run_batch(*model, 8, 5, 3, 162);
+  kfac.step();  // iteration 1: skip — no factor communication at all
+  EXPECT_EQ(kfac.last_report().factor_dense_bytes, 0u);
+  EXPECT_EQ(kfac.last_report().factor_comm_bytes, 0u);
+  EXPECT_EQ(kfac.last_report().factor_chunks, 0u);
+  EXPECT_EQ(comm.stats().factor_dense_bytes, expected_dense);
+}
+
+TEST(Kfac, SetterValidationRoutesThroughOptionsValidate) {
+  Rng rng(170);
+  nn::LayerPtr model = nn::mlp(3, 4, 2, rng);
+  comm::SelfComm comm;
+  KfacPreconditioner kfac(*model, comm, base_options());
+  // A rejected retune must leave the live options untouched.
+  EXPECT_THROW(kfac.set_damping(0.0f), Error);
+  EXPECT_FLOAT_EQ(kfac.options().damping, base_options().damping);
+  EXPECT_THROW(kfac.set_lr(-0.5f), Error);
+  EXPECT_FLOAT_EQ(kfac.options().lr, base_options().lr);
+  EXPECT_THROW(kfac.set_update_freqs(0, 1), Error);
+  EXPECT_EQ(kfac.options().factor_update_freq, 1);
+  EXPECT_NO_THROW(kfac.set_damping(0.5f));
+  EXPECT_FLOAT_EQ(kfac.options().damping, 0.5f);
 }
 
 TEST(Kfac, IterationCounterAdvances) {
