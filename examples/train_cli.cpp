@@ -3,7 +3,7 @@
 //   train_cli [--model resnet8|resnet14|resnet20|cnn|mlp]
 //             [--optimizer sgd|adam|lars] [--kfac] [--strategy lw|opt|sb]
 //             [--workers N] [--epochs N] [--batch N] [--lr F]
-//             [--update-freq N] [--rank-fraction F]
+//             [--update-freq N] [--rank-fraction F] [--overlap]
 //             [--save PATH]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
@@ -31,6 +31,7 @@ struct CliOptions {
   float lr = 0.05f;
   int update_freq = 10;
   float rank_fraction = 1.0f;
+  bool overlap = false;
   std::string save_path;
 };
 
@@ -39,7 +40,8 @@ struct CliOptions {
                "usage: train_cli [--model resnet8|resnet14|resnet20|cnn|mlp] "
                "[--optimizer sgd|adam|lars] [--kfac] [--strategy lw|opt|sb] "
                "[--workers N] [--epochs N] [--batch N] [--lr F] "
-               "[--update-freq N] [--rank-fraction F] [--save PATH]\n");
+               "[--update-freq N] [--rank-fraction F] [--overlap] "
+               "[--save PATH]\n");
   std::exit(2);
 }
 
@@ -61,6 +63,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--lr") opts.lr = std::atof(next());
     else if (arg == "--update-freq") opts.update_freq = std::atoi(next());
     else if (arg == "--rank-fraction") opts.rank_fraction = std::atof(next());
+    else if (arg == "--overlap") opts.overlap = true;
     else if (arg == "--save") opts.save_path = next();
     else usage_and_exit();
   }
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
   else if (cli.optimizer == "lars") config.optimizer = train::OptimizerKind::kLars;
   else usage_and_exit();
 
+  config.overlap_comm = cli.overlap;
   config.use_kfac = cli.use_kfac;
   if (cli.use_kfac) {
     config.kfac.damping = 0.003f;
@@ -138,10 +142,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("model=%s optimizer=%s kfac=%s workers=%d epochs=%d "
-              "global-batch=%lld\n",
+              "global-batch=%lld comm=%s\n",
               cli.model.c_str(), cli.optimizer.c_str(),
               cli.use_kfac ? cli.strategy.c_str() : "off", cli.workers,
-              cli.epochs, static_cast<long long>(cli.batch * cli.workers));
+              cli.epochs, static_cast<long long>(cli.batch * cli.workers),
+              cli.overlap ? "overlapped" : "synchronous");
 
   try {
     const train::TrainResult result =
@@ -155,6 +160,13 @@ int main(int argc, char** argv) {
     std::printf("best validation accuracy: %.1f%%; comm volume %llu bytes\n",
                 100.0f * result.best_val_accuracy,
                 static_cast<unsigned long long>(result.comm_stats.total_bytes()));
+    if (cli.overlap) {
+      std::printf("overlap: %.3f s collective time, %.3f s blocked "
+                  "(hid %.3f s behind compute)\n",
+                  result.comm_stats.async.comm_seconds,
+                  result.comm_stats.async.wait_seconds,
+                  result.comm_stats.async.overlap_won_seconds());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

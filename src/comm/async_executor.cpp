@@ -1,0 +1,151 @@
+#include "comm/async_executor.hpp"
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+namespace {
+size_t eager_elements_from(size_t capacity_elements, size_t eager_bytes) {
+  size_t eager = eager_bytes == 0 ? capacity_elements / 4
+                                  : eager_bytes / sizeof(float);
+  if (eager < 1) eager = 1;
+  return eager < capacity_elements ? eager : capacity_elements;
+}
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(Communicator& comm, size_t capacity_bytes,
+                             size_t eager_bytes)
+    : comm_(comm),
+      capacity_elements_(capacity_bytes / sizeof(float)),
+      eager_elements_(eager_elements_from(capacity_elements_, eager_bytes)),
+      fusion_(comm, capacity_bytes) {
+  DKFAC_CHECK(capacity_elements_ > 0) << "async executor buffer too small";
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncExecutor::~AsyncExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_one();
+  worker_.join();
+}
+
+void AsyncExecutor::submit(std::span<float> view, ReduceOp op) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Item{view, op, /*flush=*/false, ++next_ticket_});
+    ++stats_.submitted;
+  }
+  work_ready_.notify_one();
+}
+
+void AsyncExecutor::wait() {
+  const auto start = Clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t ticket = ++next_ticket_;
+  queue_.push_back(Item{{}, ReduceOp::kSum, /*flush=*/true, ticket});
+  work_ready_.notify_one();
+  ticket_done_.wait(lock, [&] { return completed_ticket_ >= ticket; });
+  stats_.wait_seconds += seconds_since(start);
+  if (error_) {
+    const std::exception_ptr error = error_;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool AsyncExecutor::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ticket_ < next_ticket_;
+}
+
+AsyncExecutor::Stats AsyncExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AsyncExecutor::execute_batch(std::vector<Item>& batch,
+                                  size_t& batch_elements) {
+  if (batch.empty()) return;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed = error_ != nullptr;
+  }
+  if (!failed) {
+    try {
+      for (const Item& item : batch) fusion_.add(item.view);
+      const auto start = Clock::now();
+      fusion_.execute(batch.front().op);
+      const double elapsed = seconds_since(start);
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.comm_seconds += elapsed;
+      ++stats_.batches;
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_ticket_ = batch.back().ticket;
+  }
+  ticket_done_.notify_all();
+  batch.clear();
+  batch_elements = 0;
+}
+
+void AsyncExecutor::worker_loop() {
+  // The batch under construction. Boundaries depend only on the submission
+  // sequence (capacity, op change, flush), never on queue timing, so every
+  // rank cuts identical batches — the cross-rank collective-matching
+  // invariant rendezvous communicators depend on.
+  std::vector<Item> batch;
+  size_t batch_elements = 0;
+
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop requested and fully drained
+      item = queue_.front();
+      queue_.pop_front();
+    }
+
+    if (item.flush) {
+      execute_batch(batch, batch_elements);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        completed_ticket_ = item.ticket;
+      }
+      ticket_done_.notify_all();
+      continue;
+    }
+
+    if (!batch.empty() &&
+        (item.op != batch.front().op ||
+         batch_elements + item.view.size() > capacity_elements_)) {
+      execute_batch(batch, batch_elements);
+    }
+    batch_elements += item.view.size();
+    batch.push_back(item);
+    // Launch at the eager threshold: a ready batch sitting in the queue
+    // is overlap thrown away.
+    if (batch_elements >= eager_elements_) {
+      execute_batch(batch, batch_elements);
+    }
+  }
+
+  // Shutdown with work still batched: finish it so destruction never loses
+  // submitted reductions (symmetric across ranks — every peer drains the
+  // same tail).
+  execute_batch(batch, batch_elements);
+}
+
+}  // namespace dkfac::comm

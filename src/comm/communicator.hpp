@@ -23,6 +23,21 @@ enum class ReduceOp {
   kMax,
 };
 
+/// Background-pipeline counters. Shared by AsyncExecutor::stats() and
+/// CommStats so the derived "overlap won" metric has a single definition.
+struct AsyncCommStats {
+  uint64_t submitted = 0;       ///< tensors accepted by submit()
+  uint64_t batches = 0;         ///< fused execute() calls on the worker
+  double comm_seconds = 0.0;    ///< worker time inside collectives
+  double wait_seconds = 0.0;    ///< main-thread time blocked in wait()
+
+  /// Communication hidden behind compute: collective time the main thread
+  /// did not spend blocked for.
+  double overlap_won_seconds() const {
+    return comm_seconds > wait_seconds ? comm_seconds - wait_seconds : 0.0;
+  }
+};
+
 /// Per-rank communication counters (drives the comm-volume ablation bench).
 struct CommStats {
   uint64_t allreduce_calls = 0;
@@ -38,6 +53,17 @@ struct CommStats {
   // factor_packed_bytes is already included in allreduce_bytes.
   uint64_t factor_dense_bytes = 0;
   uint64_t factor_packed_bytes = 0;
+
+  // Decomposition-allgather accounting: the bytes this rank's dense
+  // decomposition send would take vs the bytes it actually sent
+  // (triangle-packed explicit inverses when symmetric_comm is on). Same
+  // per-rank-send convention as allgather_bytes, which these are part of.
+  uint64_t decomp_dense_bytes = 0;
+  uint64_t decomp_packed_bytes = 0;
+
+  // Async-overlap accounting, filled by the trainer from AsyncExecutor
+  // when overlap_comm is on.
+  AsyncCommStats async;
 
   uint64_t total_bytes() const {
     return allreduce_bytes + allgather_bytes + broadcast_bytes;
@@ -72,6 +98,14 @@ class Communicator {
   void record_factor_volume(uint64_t dense_bytes, uint64_t actual_bytes) {
     stats_.factor_dense_bytes += dense_bytes;
     stats_.factor_packed_bytes += actual_bytes;
+  }
+
+  /// Records one decomposition allgather: `dense_bytes` is the dense
+  /// payload, `actual_bytes` what was really gathered (equal when the
+  /// decomposition is not symmetry-packable).
+  void record_decomp_volume(uint64_t dense_bytes, uint64_t actual_bytes) {
+    stats_.decomp_dense_bytes += dense_bytes;
+    stats_.decomp_packed_bytes += actual_bytes;
   }
 
   // ---- tensor conveniences ---------------------------------------------

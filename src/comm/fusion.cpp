@@ -65,4 +65,9 @@ void FusionBuffer::execute(ReduceOp op) {
   }
 }
 
+void FusionBuffer::release_staging() {
+  staging_.clear();
+  staging_.shrink_to_fit();
+}
+
 }  // namespace dkfac::comm

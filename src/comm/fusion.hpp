@@ -28,6 +28,12 @@ class FusionBuffer {
   /// chunks (each chunk is one collective). Clears the registration list.
   void execute(ReduceOp op);
 
+  /// Frees the staging allocation (it regrows on the next execute). Call
+  /// between rare exchanges — e.g. K-FAC factor updates under frequency
+  /// decay — so the largest payload ever seen isn't held across thousands
+  /// of skip iterations. Hot-path owners (AsyncExecutor) keep it warm.
+  void release_staging();
+
   size_t pending_views() const { return views_.size(); }
   size_t capacity_elements() const { return capacity_elements_; }
   /// Collectives issued by the last execute() — the fusion ratio.

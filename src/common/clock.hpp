@@ -1,0 +1,14 @@
+// Shared wall-clock timing helpers (steady, monotonic).
+#pragma once
+
+#include <chrono>
+
+namespace dkfac {
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace dkfac

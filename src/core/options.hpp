@@ -79,6 +79,13 @@ struct KfacOptions {
   /// stays bandwidth-dominated at the current world size.
   size_t fusion_capacity_bytes = 0;
 
+  /// Route the factor allreduce through the trainer's comm::AsyncExecutor
+  /// (when one is attached via set_async_executor) instead of a blocking
+  /// fused allreduce, so factor exchange overlaps the tail of backprop and
+  /// the preconditioning GEMMs. Falls back to the synchronous path when no
+  /// executor is attached. Results are bitwise identical either way.
+  bool overlap_comm = false;
+
   /// Sets both frequencies from the paper's single knob: eigendecompositions
   /// every `freq`, factors every `freq/10` (min 1).
   KfacOptions& with_update_freq(int freq) {

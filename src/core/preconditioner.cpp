@@ -1,10 +1,10 @@
 #include "core/preconditioner.hpp"
 
-#include <chrono>
 #include <cmath>
 
 #include "comm/cost_model.hpp"
 #include "comm/symmetric_packer.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -13,12 +13,6 @@
 namespace dkfac::kfac {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Fusion-buffer capacity for the factor allreduce: the explicit option
 /// when set, otherwise the α–β cost model's bandwidth-dominated chunk size
@@ -54,6 +48,15 @@ KfacPreconditioner::KfacPreconditioner(nn::Layer& model, comm::Communicator& com
   assignment_ = make_assignment(options_.strategy, factor_dims_, comm_.size());
 }
 
+KfacPreconditioner::~KfacPreconditioner() {
+  try {
+    finish_factor_comm();
+  } catch (...) {
+    // Destructors must not throw; the executor keeps its error sticky for
+    // whoever waits on it next.
+  }
+}
+
 // Every runtime retune goes through the same validate() as construction, on
 // a copy so a rejected value leaves the live options untouched.
 
@@ -80,11 +83,19 @@ void KfacPreconditioner::set_update_freqs(int factor_update_freq,
   options_ = next;
 }
 
+void KfacPreconditioner::set_async_executor(comm::AsyncExecutor* executor) {
+  finish_factor_comm();
+  executor_ = executor;
+}
+
 void KfacPreconditioner::step() {
   report_ = {};
 
   if (iteration_ % options_.factor_update_freq == 0) {
     const auto start = Clock::now();
+    // A factor exchange left in flight by the previous step must fold in
+    // before this step's running-average update reads the covariances.
+    finish_factor_comm();
     update_factors();
     report_.factors_updated = true;
     report_.factor_seconds = seconds_since(start);
@@ -92,6 +103,7 @@ void KfacPreconditioner::step() {
 
   if (iteration_ % options_.inv_update_freq == 0) {
     const auto start = Clock::now();
+    finish_factor_comm();  // decomposition consumes the reduced factors
     update_decompositions();
     report_.decompositions_updated = true;
     report_.decomposition_seconds = seconds_since(start);
@@ -100,8 +112,13 @@ void KfacPreconditioner::step() {
   {
     const auto start = Clock::now();
     if (options_.strategy == DistributionStrategy::kLayerWise) {
+      // K-FAC-lw allgathers preconditioned gradients directly on the
+      // communicator, which must not race the background pipeline.
+      finish_factor_comm();
       precondition_layer_wise();
     } else {
+      // K-FAC-opt preconditions locally — a pending factor exchange keeps
+      // overlapping these GEMMs (and the next iteration's compute).
       precondition_factor_wise();
     }
     report_.precondition_seconds = seconds_since(start);
@@ -126,13 +143,18 @@ void KfacPreconditioner::update_factors() {
     }
   }
 
-  // Allreduce all factors through the capacity-chunked fusion buffer —
-  // Algorithm 1 line 8. With symmetric_comm only the upper triangle of
-  // each factor is shipped (n(n+1)/2 of n² elements).
+  // Allreduce all factors — Algorithm 1 line 8. With symmetric_comm only
+  // the upper triangle of each factor is shipped (n(n+1)/2 of n²
+  // elements). With an attached executor and overlap_comm, views are
+  // submitted to the background pipeline instead of reduced in place:
+  // the exchange overlaps the preconditioning GEMMs and the next
+  // iteration's compute, and finish_factor_comm() folds it in right
+  // before the next consumer.
   uint64_t dense_bytes = 0;
   for (int64_t d : factor_dims_) {
     dense_bytes += static_cast<uint64_t>(d * d) * sizeof(float);
   }
+  const bool async = executor_ != nullptr && options_.overlap_comm;
 
   if (options_.symmetric_comm) {
     int64_t payload = 0;
@@ -145,34 +167,76 @@ void KfacPreconditioner::update_factors() {
       const std::span<float> view(packed_.data() + offset,
                                   static_cast<size_t>(count));
       comm::SymmetricPacker::pack(cov, view);
-      fusion_.add(view);
+      // Submitting per factor pipelines each triangle's reduction behind
+      // the packing of the next one.
+      if (async) {
+        executor_->submit(view, comm::ReduceOp::kAverage);
+      } else {
+        fusion_.add(view);
+      }
       offset += count;
     }
-    fusion_.execute(comm::ReduceOp::kAverage);
-    offset = 0;
-    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-      Tensor& cov = factor(f).cov;
-      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
-      comm::SymmetricPacker::unpack(
-          std::span<const float>(packed_.data() + offset,
-                                 static_cast<size_t>(count)),
-          cov);
-      offset += count;
+    if (async) {
+      factor_comm_pending_ = true;
+    } else {
+      fusion_.execute(comm::ReduceOp::kAverage);
+      finish_factor_comm();  // shares the unpack + release path
     }
     report_.factor_comm_bytes = static_cast<uint64_t>(payload) * sizeof(float);
   } else {
-    // Dense path: the fusion buffer reduces each factor's storage in place,
-    // so no monolithic copy of all factors is ever materialised.
+    // Dense path: each factor's storage is reduced in place, so no
+    // monolithic copy of all factors is ever materialised.
     for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-      fusion_.add(factor(f).cov);
+      if (async) {
+        executor_->submit(factor(f).cov.span(), comm::ReduceOp::kAverage);
+      } else {
+        fusion_.add(factor(f).cov);
+      }
     }
-    fusion_.execute(comm::ReduceOp::kAverage);
+    if (async) {
+      factor_comm_pending_ = true;
+    } else {
+      fusion_.execute(comm::ReduceOp::kAverage);
+      if (options_.factor_update_freq > 1) fusion_.release_staging();
+    }
     report_.factor_comm_bytes = dense_bytes;
   }
 
   report_.factor_dense_bytes = dense_bytes;
-  report_.factor_chunks = fusion_.last_chunk_count();
+  report_.factor_chunks = async ? 0 : fusion_.last_chunk_count();
+  report_.factor_comm_async = async;
   comm_.record_factor_volume(dense_bytes, report_.factor_comm_bytes);
+}
+
+void KfacPreconditioner::finish_factor_comm() {
+  if (factor_comm_pending_) {
+    DKFAC_CHECK(executor_ != nullptr)
+        << "async factor exchange pending without an executor";
+    executor_->wait();
+    factor_comm_pending_ = false;
+  }
+  if (packed_.empty()) return;
+  // Mirror the reduced triangles back into the covariance tensors (the
+  // dense path reduced them in place, so packed_ stays empty there).
+  int64_t offset = 0;
+  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    Tensor& cov = factor(f).cov;
+    const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
+    comm::SymmetricPacker::unpack(
+        std::span<const float>(packed_.data() + offset,
+                               static_cast<size_t>(count)),
+        cov);
+    offset += count;
+  }
+  packed_.clear();
+  // Release the staging allocations only on skip-heavy schedules, where
+  // the next exchange is iterations away and holding the peak payload is
+  // waste; at factor_update_freq == 1 the buffers are reused next step
+  // and freeing them would put a malloc on the hot path.
+  if (options_.factor_update_freq > 1) {
+    packed_.shrink_to_fit();
+    fusion_.release_staging();
+  }
 }
 
 void KfacPreconditioner::decompose_factor(FactorState& state) const {
@@ -246,6 +310,19 @@ int64_t KfacPreconditioner::decomp_payload(int64_t dim) const {
   return dim * kept + kept;  // truncated Q and Λ
 }
 
+bool KfacPreconditioner::pack_decompositions() const {
+  // The explicit inverse (X+γI)⁻¹ is symmetric, so its allgather payload
+  // triangle-packs exactly like the factors themselves. Eigenvector
+  // matrices are not symmetric — the eigen path always ships dense.
+  return options_.inverse_method == InverseMethod::kExplicitInverse &&
+         options_.symmetric_comm;
+}
+
+int64_t KfacPreconditioner::shipped_decomp_payload(int64_t dim) const {
+  if (pack_decompositions()) return comm::SymmetricPacker::packed_size(dim);
+  return decomp_payload(dim);
+}
+
 void KfacPreconditioner::update_decompositions() {
   const int rank = comm_.rank();
   if (options_.pi_damping &&
@@ -273,12 +350,24 @@ void KfacPreconditioner::update_decompositions() {
 void KfacPreconditioner::exchange_decompositions() {
   if (comm_.size() == 1) return;
   const int rank = comm_.rank();
+  const bool packed = pack_decompositions();
 
-  // Pack owned decompositions in ascending factor order.
+  // Pack owned decompositions in ascending factor order. Explicit inverses
+  // are symmetric, so with symmetric_comm on they travel as upper
+  // triangles — n(n+1)/2 of n² floats per factor (ROADMAP ~2× item).
   std::vector<float> send;
   for (int64_t f : assignment_.owned_by(rank)) {
     const FactorState& state = factor(f);
     DKFAC_CHECK(state.have_decomp);
+    if (packed) {
+      const size_t offset = send.size();
+      const int64_t count = comm::SymmetricPacker::packed_size(state.dim);
+      send.resize(offset + static_cast<size_t>(count));
+      comm::SymmetricPacker::pack(
+          state.q, std::span<float>(send.data() + offset,
+                                    static_cast<size_t>(count)));
+      continue;
+    }
     send.insert(send.end(), state.q.data(), state.q.data() + state.q.numel());
     if (options_.inverse_method == InverseMethod::kEigenDecomposition) {
       send.insert(send.end(), state.lam.data(),
@@ -296,12 +385,23 @@ void KfacPreconditioner::exchange_decompositions() {
       FactorState& state = factor(f);
       const int64_t d = state.dim;
       if (r == rank) {
-        offset += static_cast<size_t>(decomp_payload(d));
+        offset += static_cast<size_t>(shipped_decomp_payload(d));
         continue;  // already have our own
       }
-      DKFAC_CHECK(offset + static_cast<size_t>(decomp_payload(d)) <=
+      DKFAC_CHECK(offset + static_cast<size_t>(shipped_decomp_payload(d)) <=
                   gathered.size())
           << "decomposition gather underflow";
+      if (packed) {
+        const int64_t count = comm::SymmetricPacker::packed_size(d);
+        state.q = Tensor(Shape{d, d});
+        comm::SymmetricPacker::unpack(
+            std::span<const float>(gathered.data() + offset,
+                                   static_cast<size_t>(count)),
+            state.q);
+        offset += static_cast<size_t>(count);
+        state.have_decomp = true;
+        continue;
+      }
       const int64_t kept = kept_rank(d);
       state.q = Tensor(Shape{d, options_.inverse_method ==
                                      InverseMethod::kEigenDecomposition
@@ -320,6 +420,19 @@ void KfacPreconditioner::exchange_decompositions() {
     }
   }
   DKFAC_CHECK(offset == gathered.size()) << "decomposition gather leftover";
+
+  // Dense-equivalent vs actually-shipped bytes for this rank's send — the
+  // same per-rank convention allgather_bytes uses, so the packed bytes
+  // really are a subset of that counter.
+  uint64_t dense_sent = 0;
+  uint64_t shipped_sent = 0;
+  for (int64_t f : assignment_.owned_by(rank)) {
+    const int64_t d = factor(f).dim;
+    dense_sent += static_cast<uint64_t>(decomp_payload(d)) * sizeof(float);
+    shipped_sent +=
+        static_cast<uint64_t>(shipped_decomp_payload(d)) * sizeof(float);
+  }
+  comm_.record_decomp_volume(dense_sent, shipped_sent);
 }
 
 Tensor KfacPreconditioner::precondition_layer(const LayerState& state,

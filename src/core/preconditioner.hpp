@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/async_executor.hpp"
 #include "comm/communicator.hpp"
 #include "comm/fusion.hpp"
 #include "core/assignment.hpp"
@@ -45,6 +46,12 @@ class KfacPreconditioner {
   KfacPreconditioner(nn::Layer& model, comm::Communicator& comm,
                      KfacOptions options);
 
+  /// Completes any in-flight async factor exchange: the executor's worker
+  /// may still be reducing views into this object's staging buffer (e.g.
+  /// during exception unwind between steps), so tearing down without
+  /// draining would free memory out from under it.
+  ~KfacPreconditioner();
+
   /// Preconditions the current gradients in place. Call once per training
   /// iteration, after gradients are averaged across ranks.
   void step();
@@ -57,6 +64,16 @@ class KfacPreconditioner {
   void set_lr(float lr);
   /// Update-frequency decay (paper §V-C).
   void set_update_freqs(int factor_update_freq, int inv_update_freq);
+
+  /// Attaches the trainer's background communication pipeline. With
+  /// options().overlap_comm set, factor allreduces are submitted to
+  /// `executor` (overlapping the preconditioning GEMMs and the next
+  /// iteration's compute) instead of blocking; the reduced factors are
+  /// folded in lazily, right before their next consumer. Pass nullptr to
+  /// detach (any in-flight exchange is finished first). `executor` must
+  /// outlive the preconditioner or be detached before destruction, and
+  /// must wrap the same communicator.
+  void set_async_executor(comm::AsyncExecutor* executor);
 
   // ---- introspection -------------------------------------------------------
 
@@ -78,8 +95,12 @@ class KfacPreconditioner {
     /// `symmetric_comm` is on, else equal to dense).
     uint64_t factor_dense_bytes = 0;
     uint64_t factor_comm_bytes = 0;
-    /// Collectives the fused factor allreduce was split into.
+    /// Collectives the fused factor allreduce was split into (0 when the
+    /// exchange ran asynchronously — the executor owns the batching).
     size_t factor_chunks = 0;
+    /// True when the factor exchange was submitted to the AsyncExecutor
+    /// instead of running synchronously.
+    bool factor_comm_async = false;
   };
   const StepReport& last_report() const { return report_; }
 
@@ -107,14 +128,23 @@ class KfacPreconditioner {
   }
 
   void update_factors();
+  /// Completes an in-flight asynchronous factor exchange: waits on the
+  /// executor and mirrors the packed triangles back into the covariance
+  /// tensors. No-op when nothing is pending.
+  void finish_factor_comm();
   void update_decompositions();
   void decompose_factor(FactorState& state) const;
   /// trace(cov)/dim, floored away from zero (π-damping input).
   static float factor_trace_mean(const Tensor& cov);
   /// Eigenpairs kept for a factor of size `dim` (rank truncation).
   int64_t kept_rank(int64_t dim) const;
-  /// Floats needed to publish one factor's decomposition.
+  /// Floats needed to publish one factor's decomposition (dense layout).
   int64_t decomp_payload(int64_t dim) const;
+  /// Floats actually shipped per decomposition: triangle-packed when the
+  /// explicit inverse (symmetric) is exchanged with symmetric_comm on.
+  int64_t shipped_decomp_payload(int64_t dim) const;
+  /// True when decompositions travel as packed upper triangles.
+  bool pack_decompositions() const;
   void exchange_decompositions();
   Tensor precondition_layer(const LayerState& state, const Tensor& grad) const;
   void precondition_factor_wise();
@@ -128,8 +158,15 @@ class KfacPreconditioner {
   KfacOptions options_;
   /// Capacity-chunked fused allreduce shared by every factor update.
   comm::FusionBuffer fusion_;
-  /// Staging area for triangle-packed factor payloads, reused across steps.
+  /// Overlapped-communication pipeline (owned by the trainer); nullptr →
+  /// synchronous exchange.
+  comm::AsyncExecutor* executor_ = nullptr;
+  /// Staging area for triangle-packed factor payloads. Released after each
+  /// exchange completes so skip-heavy schedules don't pin peak memory.
   std::vector<float> packed_;
+  /// An asynchronous factor exchange is in flight (packed_ holds the
+  /// payload views the executor is still reducing).
+  bool factor_comm_pending_ = false;
   std::vector<LayerState> layers_;
   std::vector<int64_t> factor_dims_;
   WorkAssignment assignment_;

@@ -4,7 +4,7 @@
 
 namespace dkfac::nn {
 
-Tensor ReLU::backward(const Tensor& grad_output) {
+Tensor ReLU::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(static_cast<size_t>(grad_output.numel()) == mask_.size())
       << name_ << ": backward before forward or shape changed";
   Tensor dx = grad_output;

@@ -22,7 +22,7 @@ class ReLU final : public Layer {
     return y;
   }
 
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
 
   std::string name() const override { return name_; }
 

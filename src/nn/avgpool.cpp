@@ -46,7 +46,7 @@ Tensor AvgPool2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor AvgPool2d::backward(const Tensor& grad_output) {
+Tensor AvgPool2d::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(input_shape_.ndim() == 4) << name_ << ": backward before forward";
   const int64_t n = input_shape_[0], c = input_shape_[1], h = input_shape_[2],
                 w = input_shape_[3];

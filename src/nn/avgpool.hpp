@@ -11,7 +11,7 @@ class AvgPool2d final : public Layer {
             std::string name = "avgpool");
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
   std::string name() const override { return name_; }
 
  private:

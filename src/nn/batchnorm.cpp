@@ -93,7 +93,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+Tensor BatchNorm2d::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(has_batch_) << name_ << ": backward before training forward";
   DKFAC_CHECK(grad_output.shape() == input_.shape())
       << name_ << ": grad shape " << grad_output.shape();

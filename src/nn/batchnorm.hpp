@@ -16,7 +16,7 @@ class BatchNorm2d final : public Layer {
               float epsilon = 1e-5f);
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
 
   std::vector<Parameter*> local_parameters() override { return {&gamma_, &beta_}; }
   std::string name() const override { return name_; }

@@ -136,7 +136,7 @@ Tensor Conv2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+Tensor Conv2d::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(has_batch_) << name_ << ": backward before forward";
   const int64_t n = input_shape_[0];
   const int64_t oh = conv_out_size(input_shape_[2], spec_.kernel, spec_.stride,

@@ -36,7 +36,7 @@ class Conv2d final : public Layer, public KfacCapturable {
   Conv2d(Conv2dSpec spec, Rng& rng, std::string name = "conv");
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
 
   std::vector<Parameter*> local_parameters() override;
   std::string name() const override { return name_; }

@@ -29,7 +29,7 @@ Tensor Dropout::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
+Tensor Dropout::backward_impl(const Tensor& grad_output) {
   if (mask_.empty()) return grad_output;  // eval mode or p == 0
   DKFAC_CHECK(static_cast<size_t>(grad_output.numel()) == mask_.size())
       << name_ << ": backward shape mismatch";

@@ -14,7 +14,7 @@ class Dropout final : public Layer {
   explicit Dropout(float p, uint64_t seed = 1234, std::string name = "dropout");
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
   std::string name() const override { return name_; }
 
  private:

@@ -8,6 +8,7 @@
 // forward/backward hooks per layer (paper §IV-B).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,14 @@
 #include "tensor/tensor.hpp"
 
 namespace dkfac::nn {
+
+class Layer;
+
+/// Fired by Layer::backward the moment a layer (and all its children)
+/// has finished accumulating gradients — the readiness signal the
+/// overlapped communication pipeline keys off (Horovod's per-tensor
+/// backward hooks, paper §IV-B).
+using BackwardHook = std::function<void(Layer&)>;
 
 /// A trainable tensor with its accumulated gradient.
 struct Parameter {
@@ -70,7 +79,21 @@ class Layer {
 
   /// Consumes dL/d(output), accumulates parameter gradients, and returns
   /// dL/d(input). Must be called after forward() on the same batch.
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// Non-virtual: runs backward_impl(), then fires the readiness hook so
+  /// gradient communication can start while earlier layers still compute.
+  Tensor backward(const Tensor& grad_output) {
+    Tensor grad_input = backward_impl(grad_output);
+    if (backward_hook_ && *backward_hook_) (*backward_hook_)(*this);
+    return grad_input;
+  }
+
+  /// Installs `hook` on this layer and (recursively) every sublayer.
+  /// Composite layers fire after their children, so hooks observe layers
+  /// in completion order. Pass nullptr to clear.
+  void set_backward_hook(std::shared_ptr<const BackwardHook> hook) {
+    backward_hook_ = hook;
+    for (Layer* child : children()) child->set_backward_hook(hook);
+  }
 
   /// Directly-owned trainable parameters (not recursive).
   virtual std::vector<Parameter*> local_parameters() { return {}; }
@@ -122,6 +145,10 @@ class Layer {
     return total;
   }
 
+ protected:
+  /// Layer-specific backward pass — see backward() for the contract.
+  virtual Tensor backward_impl(const Tensor& grad_output) = 0;
+
  private:
   void collect_parameters(std::vector<Parameter*>& out) {
     for (Parameter* p : local_parameters()) out.push_back(p);
@@ -134,6 +161,7 @@ class Layer {
   }
 
   bool training_ = true;
+  std::shared_ptr<const BackwardHook> backward_hook_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -45,7 +45,7 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Linear::backward(const Tensor& grad_output) {
+Tensor Linear::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(has_batch_) << name_ << ": backward before forward";
   DKFAC_CHECK(grad_output.ndim() == 2 && grad_output.dim(0) == input_.dim(0) &&
               grad_output.dim(1) == out_features_)

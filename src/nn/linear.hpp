@@ -18,7 +18,7 @@ class Linear final : public Layer, public KfacCapturable {
          std::string name = "linear");
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
 
   std::vector<Parameter*> local_parameters() override;
   std::string name() const override { return name_; }

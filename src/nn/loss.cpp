@@ -59,18 +59,26 @@ LossResult softmax_cross_entropy(const Tensor& logits,
   return {static_cast<float>(total / n), std::move(grad)};
 }
 
-float accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+int64_t correct_predictions(const Tensor& logits,
+                            const std::vector<int64_t>& labels) {
   DKFAC_CHECK(logits.ndim() == 2);
   const int64_t n = logits.dim(0), c = logits.dim(1);
   DKFAC_CHECK(static_cast<int64_t>(labels.size()) == n);
-  if (n == 0) return 0.0f;
   int64_t correct = 0;
   for (int64_t i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
     const int64_t pred = std::max_element(row, row + c) - row;
     correct += (pred == labels[static_cast<size_t>(i)]);
   }
-  return static_cast<float>(correct) / static_cast<float>(n);
+  return correct;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  DKFAC_CHECK(logits.ndim() == 2);
+  const int64_t n = logits.dim(0);
+  if (n == 0) return 0.0f;
+  return static_cast<float>(correct_predictions(logits, labels)) /
+         static_cast<float>(n);
 }
 
 }  // namespace dkfac::nn

@@ -26,4 +26,11 @@ Tensor softmax(const Tensor& logits);
 /// Top-1 accuracy in [0, 1].
 float accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
 
+/// Number of rows whose argmax equals the label — the exact integer count
+/// behind accuracy(). Use this when accumulating across batches: summing
+/// integer counts is drift-free, whereas re-scaling per-batch accuracies
+/// rounds on every batch.
+int64_t correct_predictions(const Tensor& logits,
+                            const std::vector<int64_t>& labels);
+
 }  // namespace dkfac::nn

@@ -54,7 +54,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+Tensor MaxPool2d::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(static_cast<size_t>(grad_output.numel()) == argmax_.size())
       << name_ << ": backward before forward";
   Tensor dx(input_shape_);
@@ -82,7 +82,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+Tensor GlobalAvgPool::backward_impl(const Tensor& grad_output) {
   DKFAC_CHECK(input_shape_.ndim() == 4) << name_ << ": backward before forward";
   const int64_t n = input_shape_[0], c = input_shape_[1], h = input_shape_[2],
                 w = input_shape_[3];

@@ -12,7 +12,7 @@ class MaxPool2d final : public Layer {
             std::string name = "maxpool");
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
   std::string name() const override { return name_; }
 
  private:
@@ -30,7 +30,7 @@ class GlobalAvgPool final : public Layer {
   explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
 
   Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_output) override;
+  Tensor backward_impl(const Tensor& grad_output) override;
   std::string name() const override { return name_; }
 
  private:

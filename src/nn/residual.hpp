@@ -32,7 +32,7 @@ class ResidualBlock final : public Layer {
     return relu_.forward(out);
   }
 
-  Tensor backward(const Tensor& grad_output) override {
+  Tensor backward_impl(const Tensor& grad_output) override {
     Tensor g = relu_.backward(grad_output);
     Tensor dx = main_->backward(g);
     if (shortcut_) {

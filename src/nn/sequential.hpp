@@ -30,7 +30,7 @@ class Sequential final : public Layer {
     return h;
   }
 
-  Tensor backward(const Tensor& grad_output) override {
+  Tensor backward_impl(const Tensor& grad_output) override {
     Tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->backward(g);
@@ -64,7 +64,7 @@ class Flatten final : public Layer {
     return x.reshaped(Shape{n, x.numel() / std::max<int64_t>(n, 1)});
   }
 
-  Tensor backward(const Tensor& grad_output) override {
+  Tensor backward_impl(const Tensor& grad_output) override {
     return grad_output.reshaped(input_shape_);
   }
 

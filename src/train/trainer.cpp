@@ -7,7 +7,10 @@
 #include <cmath>
 #include <optional>
 
+#include "common/clock.hpp"
 #include "common/error.hpp"
+#include "comm/async_executor.hpp"
+#include "comm/cost_model.hpp"
 #include "comm/thread_comm.hpp"
 #include "core/preconditioner.hpp"
 #include "nn/loss.hpp"
@@ -18,8 +21,6 @@
 namespace dkfac::train {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Fused gradient allreduce — Horovod's DistributedOptimizer.synchronize().
 void allreduce_gradients(std::vector<nn::Parameter*>& params,
@@ -110,16 +111,35 @@ float evaluate(nn::Layer& model, const data::SyntheticImageDataset& val,
     }
     data::Batch batch = val.get(indices);
     Tensor logits = model.forward(batch.images);
-    correct += static_cast<int64_t>(
-        std::lround(nn::accuracy(logits, batch.labels) *
-                    static_cast<float>(batch.size())));
+    correct += nn::correct_predictions(logits, batch.labels);
     seen += batch.size();
   }
+  // Integer counts ride the float collective exactly (FP32 is lossless for
+  // counts below 2^24 — far beyond any validation split here).
   std::vector<float> counts{static_cast<float>(correct), static_cast<float>(seen)};
   comm.allreduce(counts, comm::ReduceOp::kSum);
   model.set_training(true);
   DKFAC_CHECK(counts[1] > 0.0f) << "validation split empty";
   return counts[0] / counts[1];
+}
+
+float decayed_damping(const TrainConfig& config, int epoch) {
+  float d = config.kfac.damping;
+  for (float de : config.damping_decay_epochs) {
+    if (static_cast<float>(epoch) >= de) d *= config.damping_decay_factor;
+  }
+  return d;
+}
+
+UpdateFreqs decayed_update_freqs(const TrainConfig& config, int epoch) {
+  float interval = static_cast<float>(config.kfac.inv_update_freq);
+  for (float fe : config.freq_decay_epochs) {
+    if (static_cast<float>(epoch) >= fe) interval *= config.freq_decay_factor;
+  }
+  const int inv = std::max(1, static_cast<int>(interval + 0.5f));
+  int fac = std::max(1, inv / 10);
+  if (inv % fac != 0) fac = 1;  // keep the divisibility contract
+  return {fac, inv};
 }
 
 namespace {
@@ -146,12 +166,45 @@ TrainResult train_rank(const ModelFactory& factory,
   std::unique_ptr<AnyOptimizer> optimizer =
       make_optimizer(config, params, schedule.lr_at(0.0f));
 
+  // Overlapped communication pipeline (Horovod §II-D): a background worker
+  // fuses and reduces whatever the readiness hooks submit while this
+  // thread keeps computing. The only protocol rule: wait() before issuing
+  // a collective directly on `comm` (the preconditioner and the epoch-end
+  // reductions below follow it).
+  std::optional<comm::AsyncExecutor> executor;
+  if (config.overlap_comm) {
+    // Thread-backed collectives have near-zero launch latency, so a small
+    // eager threshold starts hiding gradients behind backprop after a few
+    // layers; the cost-model capacity still caps how large a batch grows.
+    executor.emplace(comm,
+                     comm::CostModel{}.recommended_fusion_bytes(comm.size()),
+                     /*eager_bytes=*/32 << 10);
+  }
+
   std::optional<kfac::KfacPreconditioner> kfac;
   float damping = config.kfac.damping;
   if (config.use_kfac) {
     kfac::KfacOptions opts = config.kfac;
     opts.lr = schedule.lr_at(0.0f);
+    opts.overlap_comm = opts.overlap_comm || config.overlap_comm;
     kfac.emplace(*model, comm, opts);
+    if (executor) kfac->set_async_executor(&*executor);
+  }
+
+  // Per-layer readiness hook: the moment a layer finishes backprop, its
+  // parameter gradients enter the pipeline — gradient communication
+  // overlaps the backprop of the layers that come before it. Every rank
+  // walks the same model in the same order, so submission sequences (and
+  // therefore collective sequences) match across ranks.
+  std::shared_ptr<const nn::BackwardHook> ready_hook;
+  if (executor && comm.size() > 1) {
+    ready_hook = std::make_shared<const nn::BackwardHook>(
+        [&executor](nn::Layer& layer) {
+          for (nn::Parameter* p : layer.local_parameters()) {
+            executor->submit(p->grad.span(), comm::ReduceOp::kAverage);
+          }
+        });
+    model->set_backward_hook(ready_hook);
   }
 
   TrainResult result;
@@ -163,23 +216,14 @@ TrainResult train_rank(const ModelFactory& factory,
 
     // Damping and update-frequency decay at epoch boundaries (paper §V-C).
     if (kfac) {
-      float d = config.kfac.damping;
-      for (float de : config.damping_decay_epochs) {
-        if (static_cast<float>(epoch) >= de) d *= config.damping_decay_factor;
-      }
+      const float d = decayed_damping(config, epoch);
       if (d != damping) {
         damping = d;
         kfac->set_damping(damping);
       }
       if (!config.freq_decay_epochs.empty()) {
-        float interval = static_cast<float>(config.kfac.inv_update_freq);
-        for (float fe : config.freq_decay_epochs) {
-          if (static_cast<float>(epoch) >= fe) interval *= config.freq_decay_factor;
-        }
-        const int inv = std::max(1, static_cast<int>(interval + 0.5f));
-        int fac = std::max(1, inv / 10);
-        if (inv % fac != 0) fac = 1;  // keep the divisibility contract
-        kfac->set_update_freqs(fac, inv);
+        const UpdateFreqs freqs = decayed_update_freqs(config, epoch);
+        kfac->set_update_freqs(freqs.factor_update_freq, freqs.inv_update_freq);
       }
     }
 
@@ -198,9 +242,15 @@ TrainResult train_rank(const ModelFactory& factory,
       Tensor logits = model->forward(batch.images);
       nn::LossResult loss =
           nn::softmax_cross_entropy(logits, batch.labels, config.label_smoothing);
+      // With overlap on, the readiness hooks stream per-layer gradient
+      // allreduces into the executor DURING this call.
       model->backward(loss.grad);
 
-      allreduce_gradients(params, comm);        // optimizer.synchronize()
+      if (executor) {
+        executor->wait();  // optimizer.synchronize(): grads now averaged
+      } else {
+        allreduce_gradients(params, comm);
+      }
       if (kfac) kfac->step();                   // preconditioner.step()
       optimizer->step();                        // optimizer.step()
 
@@ -211,6 +261,9 @@ TrainResult train_rank(const ModelFactory& factory,
 
     EpochMetrics metrics;
     metrics.epoch = epoch + 1;
+    // Drain the pipeline (the last step's factor exchange may still be in
+    // flight) before touching the communicator directly.
+    if (executor) executor->wait();
     // Average the per-rank training loss so the curve reflects the global
     // batch (cheap: one 2-float allreduce per epoch).
     std::vector<float> stats{static_cast<float>(loss_sum / batches),
@@ -227,7 +280,9 @@ TrainResult train_rank(const ModelFactory& factory,
   result.final_val_accuracy =
       result.epochs.empty() ? 0.0f : result.epochs.back().val_accuracy;
   result.total_seconds = std::chrono::duration<double>(Clock::now() - run_start).count();
+  model->set_backward_hook(nullptr);
   result.comm_stats = comm.stats();
+  if (executor) result.comm_stats.async = executor->stats();
   if (comm.rank() == 0 && config.on_trained_model) {
     config.on_trained_model(*model);
   }

@@ -40,6 +40,14 @@ struct TrainConfig {
   float weight_decay = 0.0f;
   float label_smoothing = 0.0f;
 
+  /// Overlap communication with compute (Horovod §II-D): per-layer
+  /// gradient allreduces are submitted to a background comm::AsyncExecutor
+  /// the moment each layer finishes backprop, and K-FAC factor exchanges
+  /// ride the same pipeline. Off → the synchronous fused allreduce.
+  /// Results are bitwise identical either way (deterministic collectives,
+  /// elementwise reductions).
+  bool overlap_comm = false;
+
   /// Enable the K-FAC preconditioner in front of SGD.
   bool use_kfac = false;
   kfac::KfacOptions kfac;
@@ -102,7 +110,31 @@ TrainResult train_single(const ModelFactory& factory,
 
 /// Evaluates top-1 accuracy of `model` over the validation split, sharded
 /// across ranks and allreduced (every rank returns the global number).
+/// Counts correct predictions directly (argmax == label) and reduces
+/// integer counts, so the result carries no per-batch rounding drift.
 float evaluate(nn::Layer& model, const data::SyntheticImageDataset& val,
                comm::Communicator& comm, int64_t eval_batch);
+
+// ---- epoch-boundary K-FAC schedule decay (paper §V-C) ---------------------
+//
+// Exposed as pure functions of (config, epoch) so the once-per-threshold
+// contract is testable without running training: each listed epoch
+// threshold contributes exactly one decay factor, recomputed from the base
+// value every epoch (crossing a threshold twice is impossible).
+
+/// Damping γ for `epoch`: base damping times `damping_decay_factor` once
+/// per crossed threshold in `damping_decay_epochs`.
+float decayed_damping(const TrainConfig& config, int epoch);
+
+struct UpdateFreqs {
+  int factor_update_freq = 1;
+  int inv_update_freq = 1;
+};
+
+/// K-FAC update intervals for `epoch`: the inverse interval scaled by
+/// `freq_decay_factor` once per crossed threshold, the factor interval
+/// re-derived as inv/10 (min 1) and snapped so inv % fac == 0 — the
+/// divisibility contract KfacOptions::validate() enforces.
+UpdateFreqs decayed_update_freqs(const TrainConfig& config, int epoch);
 
 }  // namespace dkfac::train

@@ -670,6 +670,172 @@ TEST(Kfac, SetterValidationRoutesThroughOptionsValidate) {
   EXPECT_FLOAT_EQ(kfac.options().damping, 0.5f);
 }
 
+TEST(Kfac, LayerWiseAndFactorWiseProduceIdenticalGradients) {
+  // Layer-wise and factor-wise place the same math on different ranks:
+  // with identical batches and a fixed seed the preconditioned gradients
+  // must match bitwise, not just to tolerance (deterministic collectives,
+  // same GEMM code on whatever rank runs it).
+  auto run_with = [](DistributionStrategy strategy) {
+    std::vector<Tensor> grads;
+    std::mutex mu;
+    comm::LocalGroup group(2);
+    group.run([&](int rank, comm::Communicator& comm) {
+      Rng rng(200);
+      nn::LayerPtr model = nn::mlp(6, 8, 3, rng);
+      KfacOptions opts = base_options();
+      opts.strategy = strategy;
+      KfacPreconditioner kfac(*model, comm, opts);
+      for (int it = 0; it < 3; ++it) {
+        run_batch(*model, 8, 6, 3, 201 + static_cast<uint64_t>(it) +
+                                       static_cast<uint64_t>(rank));
+        for (nn::Parameter* p : model->parameters()) {
+          comm.allreduce(p->grad, comm::ReduceOp::kAverage);
+        }
+        kfac.step();
+      }
+      if (rank == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (nn::KfacCapturable* l : model->kfac_layers()) {
+          grads.push_back(l->kfac_grad());
+        }
+      }
+    });
+    return grads;
+  };
+
+  const std::vector<Tensor> layer_wise = run_with(DistributionStrategy::kLayerWise);
+  const std::vector<Tensor> factor_wise = run_with(DistributionStrategy::kFactorWise);
+  ASSERT_EQ(layer_wise.size(), factor_wise.size());
+  for (size_t i = 0; i < layer_wise.size(); ++i) {
+    EXPECT_TRUE(layer_wise[i] == factor_wise[i]) << "layer " << i;
+  }
+}
+
+TEST(Kfac, ExplicitInverseExchangeIsSymmetryPacked) {
+  // (X+γI)⁻¹ is symmetric, so the decomposition allgather triangle-packs
+  // like the factors themselves: fewer gathered bytes, same gradients.
+  auto run_with = [](bool symmetric) {
+    struct Result {
+      std::vector<Tensor> grads;
+      comm::CommStats stats;
+    } result;
+    std::mutex mu;
+    comm::LocalGroup group(2);
+    group.run([&](int rank, comm::Communicator& comm) {
+      Rng rng(210);
+      nn::LayerPtr model = nn::mlp(8, 12, 4, rng);
+      KfacOptions opts = base_options();
+      opts.inverse_method = InverseMethod::kExplicitInverse;
+      opts.symmetric_comm = symmetric;
+      comm.reset_stats();
+      KfacPreconditioner kfac(*model, comm, opts);
+      run_batch(*model, 8, 8, 4, 211);
+      for (nn::Parameter* p : model->parameters()) {
+        comm.allreduce(p->grad, comm::ReduceOp::kAverage);
+      }
+      kfac.step();
+      if (rank == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (nn::KfacCapturable* l : model->kfac_layers()) {
+          result.grads.push_back(l->kfac_grad());
+        }
+        result.stats = comm.stats();
+      }
+    });
+    return result;
+  };
+
+  const auto dense = run_with(false);
+  const auto packed = run_with(true);
+
+  // Volume: the packed gather ships n(n+1)/2 of n² per inverse.
+  EXPECT_LT(packed.stats.allgather_bytes, dense.stats.allgather_bytes);
+  EXPECT_EQ(dense.stats.decomp_packed_bytes, dense.stats.decomp_dense_bytes);
+  EXPECT_EQ(packed.stats.decomp_dense_bytes, dense.stats.decomp_dense_bytes);
+  EXPECT_LT(packed.stats.decomp_packed_bytes,
+            (packed.stats.decomp_dense_bytes * 6) / 10);
+
+  // Parity: unpack mirrors the triangle, so any FP32 asymmetry in the
+  // computed inverse is re-symmetrised — allow float-level tolerance.
+  ASSERT_EQ(dense.grads.size(), packed.grads.size());
+  for (size_t i = 0; i < dense.grads.size(); ++i) {
+    EXPECT_TRUE(allclose(packed.grads[i], dense.grads[i], 1e-4f, 1e-5f))
+        << "layer " << i;
+  }
+}
+
+TEST(Kfac, EigenPathRecordsDenseDecompVolume) {
+  // Eigenvector matrices are not symmetric — no packing, dense == shipped.
+  comm::LocalGroup group(2);
+  group.run([&](int rank, comm::Communicator& comm) {
+    Rng rng(220);
+    nn::LayerPtr model = nn::mlp(5, 6, 3, rng);
+    KfacPreconditioner kfac(*model, comm, base_options());
+    run_batch(*model, 8, 5, 3, 221);
+    kfac.step();
+    if (rank == 0) {
+      EXPECT_GT(comm.stats().decomp_dense_bytes, 0u);
+      EXPECT_EQ(comm.stats().decomp_packed_bytes,
+                comm.stats().decomp_dense_bytes);
+    }
+  });
+}
+
+TEST(Kfac, AsyncFactorExchangeMatchesSynchronous) {
+  // With an AsyncExecutor attached and overlap_comm on, factor allreduces
+  // ride the background pipeline and fold in lazily — the preconditioned
+  // gradients must still match the synchronous path bitwise.
+  auto run_with = [](bool overlap) {
+    std::vector<Tensor> grads;
+    std::mutex mu;
+    comm::LocalGroup group(2);
+    group.run([&](int rank, comm::Communicator& comm) {
+      Rng rng(230);
+      nn::LayerPtr model = nn::mlp(6, 8, 3, rng);
+      KfacOptions opts = base_options();
+      opts.factor_update_freq = 1;
+      opts.inv_update_freq = 2;
+      opts.overlap_comm = overlap;
+      KfacPreconditioner kfac(*model, comm, opts);
+      std::optional<comm::AsyncExecutor> executor;
+      if (overlap) {
+        executor.emplace(comm);
+        kfac.set_async_executor(&*executor);
+      }
+      for (int it = 0; it < 4; ++it) {
+        run_batch(*model, 8, 6, 3, 231 + static_cast<uint64_t>(it) +
+                                       static_cast<uint64_t>(rank));
+        // Protocol: drain the pipeline before direct collectives.
+        if (executor) executor->wait();
+        for (nn::Parameter* p : model->parameters()) {
+          comm.allreduce(p->grad, comm::ReduceOp::kAverage);
+        }
+        kfac.step();
+        if (overlap) {
+          EXPECT_TRUE(kfac.last_report().factor_comm_async);
+        }
+      }
+      if (executor) executor->wait();
+      if (rank == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (nn::KfacCapturable* l : model->kfac_layers()) {
+          grads.push_back(l->kfac_grad());
+        }
+      }
+      // Detach before the executor leaves scope.
+      kfac.set_async_executor(nullptr);
+    });
+    return grads;
+  };
+
+  const std::vector<Tensor> sync_grads = run_with(false);
+  const std::vector<Tensor> async_grads = run_with(true);
+  ASSERT_EQ(sync_grads.size(), async_grads.size());
+  for (size_t i = 0; i < sync_grads.size(); ++i) {
+    EXPECT_TRUE(sync_grads[i] == async_grads[i]) << "layer " << i;
+  }
+}
+
 TEST(Kfac, IterationCounterAdvances) {
   Rng rng(111);
   nn::LayerPtr model = nn::mlp(3, 4, 2, rng);

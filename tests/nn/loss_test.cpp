@@ -113,5 +113,20 @@ TEST(Accuracy, CountsArgmaxMatches) {
   EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.0f);
 }
 
+TEST(Accuracy, CorrectPredictionsIsExactInteger) {
+  Tensor logits(Shape{3, 2}, {0.9f, 0.1f,
+                              0.2f, 0.8f,
+                              0.6f, 0.4f});
+  EXPECT_EQ(correct_predictions(logits, {0, 1, 1}), 2);
+  EXPECT_EQ(correct_predictions(logits, {1, 0, 1}), 0);
+  EXPECT_EQ(correct_predictions(logits, {0, 1, 0}), 3);
+  // The evaluation loop sums these counts across batches; unlike
+  // re-scaling the float accuracy per batch, the integers carry no
+  // rounding drift: accuracy() is exactly count/n.
+  EXPECT_EQ(static_cast<float>(correct_predictions(logits, {0, 1, 1})) / 3.0f,
+            accuracy(logits, {0, 1, 1}));
+  EXPECT_THROW(correct_predictions(logits, {0, 1}), Error);
+}
+
 }  // namespace
 }  // namespace dkfac::nn

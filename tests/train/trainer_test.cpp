@@ -140,5 +140,114 @@ TEST(Trainer, InvalidWorldSizeThrows) {
       Error);
 }
 
+TEST(Trainer, DecayedDampingAppliesOncePerThreshold) {
+  TrainConfig config = tiny_config();
+  config.kfac.damping = 0.1f;
+  config.damping_decay_epochs = {2.0f, 4.0f};
+  config.damping_decay_factor = 0.5f;
+  // Recomputed from the base each epoch: each threshold contributes its
+  // factor exactly once, no matter how many epochs sit past it.
+  EXPECT_FLOAT_EQ(decayed_damping(config, 0), 0.1f);
+  EXPECT_FLOAT_EQ(decayed_damping(config, 1), 0.1f);
+  EXPECT_FLOAT_EQ(decayed_damping(config, 2), 0.05f);
+  EXPECT_FLOAT_EQ(decayed_damping(config, 3), 0.05f);
+  EXPECT_FLOAT_EQ(decayed_damping(config, 4), 0.025f);
+  EXPECT_FLOAT_EQ(decayed_damping(config, 9), 0.025f);
+}
+
+TEST(Trainer, DecayedUpdateFreqsKeepDivisibilityContract) {
+  TrainConfig config = tiny_config();
+  config.kfac.with_update_freq(100);
+  config.freq_decay_epochs = {1.0f, 2.0f, 3.0f};
+  config.freq_decay_factor = 0.5f;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const UpdateFreqs freqs = decayed_update_freqs(config, epoch);
+    EXPECT_GE(freqs.factor_update_freq, 1) << "epoch " << epoch;
+    EXPECT_GE(freqs.inv_update_freq, 1) << "epoch " << epoch;
+    EXPECT_EQ(freqs.inv_update_freq % freqs.factor_update_freq, 0)
+        << "epoch " << epoch;
+    // Must survive the same validation the preconditioner setters run.
+    kfac::KfacOptions opts = config.kfac;
+    opts.factor_update_freq = freqs.factor_update_freq;
+    opts.inv_update_freq = freqs.inv_update_freq;
+    EXPECT_NO_THROW(opts.validate()) << "epoch " << epoch;
+  }
+  EXPECT_EQ(decayed_update_freqs(config, 0).inv_update_freq, 100);
+  EXPECT_EQ(decayed_update_freqs(config, 1).inv_update_freq, 50);
+  EXPECT_EQ(decayed_update_freqs(config, 2).inv_update_freq, 25);
+  // 25/2 rounds to 13, fac snaps to 1 to keep inv % fac == 0.
+  EXPECT_EQ(decayed_update_freqs(config, 3).inv_update_freq, 13);
+  EXPECT_EQ(decayed_update_freqs(config, 3).factor_update_freq, 1);
+  // Decay floors at 1, never 0.
+  config.freq_decay_factor = 0.01f;
+  EXPECT_EQ(decayed_update_freqs(config, 5).inv_update_freq, 1);
+  EXPECT_EQ(decayed_update_freqs(config, 5).factor_update_freq, 1);
+}
+
+TEST(Trainer, OverlapCommMatchesSynchronousBitwise) {
+  // The overlapped pipeline reorders WHEN communication happens, never
+  // WHAT is reduced: per-epoch metrics must match the synchronous path
+  // exactly (deterministic collectives + elementwise reductions).
+  TrainConfig sync_config = tiny_config(2);
+  sync_config.local_batch = 16;
+  sync_config.use_kfac = true;
+  sync_config.kfac.with_update_freq(4);
+  TrainConfig overlap_config = sync_config;
+  overlap_config.overlap_comm = true;
+
+  TrainResult sync_result =
+      train_distributed(tiny_cnn_factory(), tiny_spec(), sync_config, 2);
+  TrainResult overlap_result =
+      train_distributed(tiny_cnn_factory(), tiny_spec(), overlap_config, 2);
+
+  ASSERT_EQ(sync_result.epochs.size(), overlap_result.epochs.size());
+  for (size_t e = 0; e < sync_result.epochs.size(); ++e) {
+    EXPECT_EQ(sync_result.epochs[e].train_loss,
+              overlap_result.epochs[e].train_loss)
+        << "epoch " << e;
+    EXPECT_EQ(sync_result.epochs[e].train_accuracy,
+              overlap_result.epochs[e].train_accuracy)
+        << "epoch " << e;
+    EXPECT_EQ(sync_result.epochs[e].val_accuracy,
+              overlap_result.epochs[e].val_accuracy)
+        << "epoch " << e;
+  }
+  EXPECT_EQ(sync_result.final_val_accuracy, overlap_result.final_val_accuracy);
+
+  // The pipeline really ran: per-layer gradients + factor exchanges.
+  EXPECT_GT(overlap_result.comm_stats.async.submitted, 0u);
+  EXPECT_GT(overlap_result.comm_stats.async.batches, 0u);
+  EXPECT_EQ(sync_result.comm_stats.async.submitted, 0u);
+}
+
+TEST(Trainer, OverlapCommWithoutKfacAlsoMatches) {
+  TrainConfig sync_config = tiny_config(2);
+  sync_config.local_batch = 16;
+  TrainConfig overlap_config = sync_config;
+  overlap_config.overlap_comm = true;
+
+  TrainResult sync_result =
+      train_distributed(tiny_cnn_factory(), tiny_spec(), sync_config, 2);
+  TrainResult overlap_result =
+      train_distributed(tiny_cnn_factory(), tiny_spec(), overlap_config, 2);
+  ASSERT_EQ(sync_result.epochs.size(), overlap_result.epochs.size());
+  for (size_t e = 0; e < sync_result.epochs.size(); ++e) {
+    EXPECT_EQ(sync_result.epochs[e].val_accuracy,
+              overlap_result.epochs[e].val_accuracy)
+        << "epoch " << e;
+  }
+}
+
+TEST(Trainer, OverlapCommSingleRankRuns) {
+  // World size 1: no peers to talk to, but the toggle must still work.
+  TrainConfig config = tiny_config(2);
+  config.overlap_comm = true;
+  config.use_kfac = true;
+  config.kfac.with_update_freq(4);
+  TrainResult result = train_single(tiny_cnn_factory(), tiny_spec(), config);
+  EXPECT_EQ(result.epochs.size(), 2u);
+  EXPECT_GT(result.final_val_accuracy, 0.25f);
+}
+
 }  // namespace
 }  // namespace dkfac::train
