@@ -2,17 +2,25 @@
 //
 //   train_cli [--model resnet8|resnet14|resnet20|cnn|mlp]
 //             [--optimizer sgd|adam|lars] [--kfac] [--strategy lw|opt|sb]
-//             [--workers N] [--epochs N] [--batch N] [--lr F]
+//             [--backend thread|socket] [--workers N | --ranks N]
+//             [--epochs N] [--batch N] [--lr F]
 //             [--update-freq N] [--rank-fraction F] [--overlap]
 //             [--save PATH]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
-// optionally writes a checkpoint.
+// optionally writes a checkpoint. `--backend thread` (default) runs the
+// ranks as threads in this process; `--backend socket` forks N real
+// processes that communicate over localhost TCP (net::SocketComm) —
+// bitwise-identical results, genuinely distributed execution.
+#include <omp.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "comm/net/launch.hpp"
 #include "common/error.hpp"
 #include "nn/resnet.hpp"
 #include "nn/serialize.hpp"
@@ -24,6 +32,7 @@ struct CliOptions {
   std::string model = "resnet8";
   std::string optimizer = "sgd";
   std::string strategy = "opt";
+  std::string backend = "thread";
   bool use_kfac = false;
   int workers = 2;
   int epochs = 5;
@@ -39,7 +48,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: train_cli [--model resnet8|resnet14|resnet20|cnn|mlp] "
                "[--optimizer sgd|adam|lars] [--kfac] [--strategy lw|opt|sb] "
-               "[--workers N] [--epochs N] [--batch N] [--lr F] "
+               "[--backend thread|socket] [--workers N | --ranks N] "
+               "[--epochs N] [--batch N] [--lr F] "
                "[--update-freq N] [--rank-fraction F] [--overlap] "
                "[--save PATH]\n");
   std::exit(2);
@@ -56,8 +66,9 @@ CliOptions parse(int argc, char** argv) {
     if (arg == "--model") opts.model = next();
     else if (arg == "--optimizer") opts.optimizer = next();
     else if (arg == "--strategy") opts.strategy = next();
+    else if (arg == "--backend") opts.backend = next();
     else if (arg == "--kfac") opts.use_kfac = true;
-    else if (arg == "--workers") opts.workers = std::atoi(next());
+    else if (arg == "--workers" || arg == "--ranks") opts.workers = std::atoi(next());
     else if (arg == "--epochs") opts.epochs = std::atoi(next());
     else if (arg == "--batch") opts.batch = std::atoll(next());
     else if (arg == "--lr") opts.lr = std::atof(next());
@@ -141,16 +152,16 @@ int main(int argc, char** argv) {
     };
   }
 
-  std::printf("model=%s optimizer=%s kfac=%s workers=%d epochs=%d "
+  if (cli.backend != "thread" && cli.backend != "socket") usage_and_exit();
+  std::printf("model=%s optimizer=%s kfac=%s backend=%s workers=%d epochs=%d "
               "global-batch=%lld comm=%s\n",
               cli.model.c_str(), cli.optimizer.c_str(),
-              cli.use_kfac ? cli.strategy.c_str() : "off", cli.workers,
-              cli.epochs, static_cast<long long>(cli.batch * cli.workers),
+              cli.use_kfac ? cli.strategy.c_str() : "off", cli.backend.c_str(),
+              cli.workers, cli.epochs,
+              static_cast<long long>(cli.batch * cli.workers),
               cli.overlap ? "overlapped" : "synchronous");
 
-  try {
-    const train::TrainResult result =
-        train::train_distributed(factory, spec, config, cli.workers);
+  const auto print_result = [&cli](const train::TrainResult& result) {
     for (const train::EpochMetrics& m : result.epochs) {
       std::printf("epoch %2d: loss %.3f  train acc %.1f%%  val acc %.1f%%  "
                   "(%.1fs)\n",
@@ -160,6 +171,11 @@ int main(int argc, char** argv) {
     std::printf("best validation accuracy: %.1f%%; comm volume %llu bytes\n",
                 100.0f * result.best_val_accuracy,
                 static_cast<unsigned long long>(result.comm_stats.total_bytes()));
+    if (result.comm_stats.wire_sent_bytes > 0) {
+      std::printf("wire (rank 0): %llu bytes sent, %llu bytes received\n",
+                  static_cast<unsigned long long>(result.comm_stats.wire_sent_bytes),
+                  static_cast<unsigned long long>(result.comm_stats.wire_recv_bytes));
+    }
     if (cli.overlap) {
       std::printf("overlap: %.3f s collective time, %.3f s blocked "
                   "(hid %.3f s behind compute)\n",
@@ -167,6 +183,25 @@ int main(int argc, char** argv) {
                   result.comm_stats.async.wait_seconds,
                   result.comm_stats.async.overlap_won_seconds());
     }
+  };
+
+  try {
+    if (cli.backend == "socket") {
+      // N real processes over localhost TCP: fork, rendezvous, train.
+      // Rank 0's child prints the metrics; the launcher propagates the
+      // first failing child's exit code.
+      const int workers = cli.workers;
+      return comm::net::run_ranks(workers, [&](comm::Communicator& comm) {
+        omp_set_num_threads(train::omp_threads_per_rank(workers));
+        const train::TrainResult result =
+            train::train_with_comm(factory, spec, config, comm);
+        if (comm.rank() == 0) print_result(result);
+        return 0;
+      });
+    }
+    const train::TrainResult result =
+        train::train_distributed(factory, spec, config, cli.workers);
+    print_result(result);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,15 +3,19 @@
 // The paper's Algorithm 1 is expressed entirely in terms of three
 // collectives — allreduce, allgather, broadcast — plus rank/size queries.
 // This interface mirrors that surface. Production Horovod backs these with
-// NCCL/MPI rings across nodes; here the default backend runs N ranks as N
-// threads over shared memory with identical semantics (see thread_comm.hpp),
-// which keeps every K-FAC code path exercised on one machine.
+// NCCL/MPI rings across nodes; here two interchangeable backends exist:
+// the thread-backed LocalGroup/ThreadComm (N ranks as N threads over
+// shared memory, see thread_comm.hpp) and the multi-process TCP
+// net::SocketComm (ring/tree collectives between separate processes, see
+// net/socket_comm.hpp). Both reduce in the same rank order, so training
+// results are bitwise identical across backends.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "comm/cost_model.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dkfac::comm {
@@ -39,6 +43,14 @@ struct AsyncCommStats {
 };
 
 /// Per-rank communication counters (drives the comm-volume ablation bench).
+///
+/// The logical byte counters follow one payload-contribution convention,
+/// uniform across backends: allreduce counts this rank's buffer, allgather
+/// counts this rank's send, broadcast counts the payload at the root only.
+/// Summing any counter across ranks therefore gives the unique payload
+/// injected into that collective — backends must not re-count forwarded or
+/// echoed bytes here. What a backend really moved (headers, forwarding
+/// hops, algorithm overhead) is the wire counters' job below.
 struct CommStats {
   uint64_t allreduce_calls = 0;
   uint64_t allreduce_bytes = 0;
@@ -46,6 +58,13 @@ struct CommStats {
   uint64_t allgather_bytes = 0;
   uint64_t broadcast_calls = 0;
   uint64_t broadcast_bytes = 0;
+
+  // Real bytes on the wire for this rank, frame headers included — filled
+  // by network backends (net::SocketComm). Shared-memory backends move no
+  // wire bytes and leave these 0. Packing savings (SymmetricPacker) and
+  // fusion show up here as actual transport-byte reductions.
+  uint64_t wire_sent_bytes = 0;
+  uint64_t wire_recv_bytes = 0;
 
   // Kronecker-factor exchange accounting (filled by KfacPreconditioner):
   // the bytes a dense n×n factor allreduce would have shipped vs the bytes
@@ -90,6 +109,15 @@ class Communicator {
 
   virtual void barrier() = 0;
 
+  /// The α–β model of this backend's fabric. Everything tuned above the
+  /// collectives — AsyncExecutor's eager threshold, fusion-buffer
+  /// capacities, SocketComm's per-size algorithm choice — derives from
+  /// this instead of hard-coding numbers for one backend.
+  virtual const CostModel& cost_model() const {
+    static const CostModel kDefault{};
+    return kDefault;
+  }
+
   const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -125,6 +153,11 @@ class SelfComm final : public Communicator {
 
   int rank() const override { return 0; }
   int size() const override { return 1; }
+
+  const CostModel& cost_model() const override {
+    static const CostModel kModel = CostModel::shared_memory();
+    return kModel;
+  }
 
   void allreduce(std::span<float> data, ReduceOp op) override {
     stats_.allreduce_calls++;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -25,6 +26,20 @@ struct CostModel {
   double bandwidth_bytes_per_s = 10.0e9;  // β ≈ 100 Gb/s EDR effective
   /// Fraction of β actually sustained by the collective implementation.
   double efficiency = 0.85;
+
+  // ---- backend presets ----------------------------------------------------
+  // Each Communicator backend reports the preset matching its fabric via
+  // cost_model(); consumers (AsyncExecutor thresholds, fusion capacities,
+  // SocketComm's algorithm choice) derive their tuning from it instead of
+  // hard-coding numbers for one backend.
+
+  /// ThreadComm: a collective is a barrier + memcpy. α is a condition-
+  /// variable wake, β a memory-bandwidth share.
+  static CostModel shared_memory() { return {2.0e-6, 8.0e9, 0.9}; }
+
+  /// SocketComm over loopback TCP: α is syscall + scheduling per frame,
+  /// β the loopback stack with checksumming overhead.
+  static CostModel loopback_tcp() { return {3.0e-5, 3.0e9, 0.7}; }
 
   double effective_bandwidth() const { return bandwidth_bytes_per_s * efficiency; }
 
@@ -61,6 +76,62 @@ struct CostModel {
                          effective_bandwidth() / max_latency_fraction;
     if (bytes >= static_cast<double>(kMaxBytes)) return kMaxBytes;
     return std::max(kMinBytes, static_cast<uint64_t>(bytes));
+  }
+
+  /// Async-pipeline launch threshold: the payload at which a ring
+  /// allreduce's latency term equals its bandwidth term (2(p-1)·α ==
+  /// 2(p-1)/p · n/β_eff → n = p·α·β_eff). Below it, fusing more tensors
+  /// into the batch is free; above it, the collective is bandwidth-
+  /// dominated and holding it back only wastes overlap. Low-latency
+  /// fabrics (shared memory) land in the tens of KB, loopback TCP in the
+  /// hundreds — which is exactly why this must come from the backend's
+  /// cost model rather than a constant tuned for one of them.
+  uint64_t recommended_eager_bytes(int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    constexpr uint64_t kMinBytes = 4ull << 10;
+    constexpr uint64_t kMaxBytes = 8ull << 20;
+    if (ranks == 1) return kMinBytes;  // no collectives issued anyway
+    const double bytes =
+        static_cast<double>(ranks) * latency_s * effective_bandwidth();
+    if (bytes >= static_cast<double>(kMaxBytes)) return kMaxBytes;
+    return std::max(kMinBytes, static_cast<uint64_t>(bytes));
+  }
+
+  /// Chunk count that minimises a pipelined chain reduce/broadcast of
+  /// `bytes` over `ranks`: T(K) = (K + p - 2)(α + (n/K)/β) is minimal at
+  /// K* = sqrt((p-2)·n / (α·β_eff)). Clamped so chunks stay ≥ 4 KB (frame
+  /// overhead) and K ≤ 256 (bounded header traffic).
+  int pipeline_chunk_count(uint64_t bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks <= 2 || bytes == 0) return 1;
+    const double ideal = std::sqrt(static_cast<double>(ranks - 2) *
+                                   static_cast<double>(bytes) /
+                                   (latency_s * effective_bandwidth()));
+    const auto by_size = static_cast<int64_t>(bytes / (4ull << 10));
+    const int64_t k = std::clamp<int64_t>(static_cast<int64_t>(ideal), 1,
+                                          std::max<int64_t>(1, by_size));
+    return static_cast<int>(std::min<int64_t>(k, 256));
+  }
+
+  /// Pipelined chain reduce + chain broadcast of `bytes` across `ranks`
+  /// (the rank-order-preserving allreduce SocketComm uses for large
+  /// payloads; see socket_comm.hpp).
+  double pipelined_allreduce_time(uint64_t bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks == 1 || bytes == 0) return 0.0;
+    const double k = pipeline_chunk_count(bytes, ranks);
+    const double hop = latency_s + static_cast<double>(bytes) / k / effective_bandwidth();
+    return 2.0 * (k + ranks - 2.0) * hop;
+  }
+
+  /// Ring circulation of every rank's full `bytes` payload + local fold
+  /// (SocketComm's latency-optimal small-message allreduce): p-1 steps,
+  /// each moving the full payload per link.
+  double circulating_allreduce_time(uint64_t bytes, int ranks) const {
+    DKFAC_CHECK(ranks >= 1);
+    if (ranks == 1 || bytes == 0) return 0.0;
+    const double p = ranks;
+    return (p - 1.0) * (latency_s + static_cast<double>(bytes) / effective_bandwidth());
   }
 
   /// Binomial-tree broadcast of `bytes` from one root.

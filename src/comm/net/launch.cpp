@@ -1,0 +1,102 @@
+#include "comm/net/launch.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "comm/net/rendezvous.hpp"
+#include "common/error.hpp"
+
+namespace dkfac::comm::net {
+
+namespace {
+
+/// Runs one rank inside the freshly forked child. Never returns.
+[[noreturn]] void child_main(int rank, int nranks, uint16_t rendezvous_port,
+                             const LaunchOptions& options,
+                             const std::function<int(Communicator&)>& fn) {
+  int code = 1;
+  try {
+    SocketOptions sopts;
+    sopts.rendezvous_port = rendezvous_port;
+    sopts.world_size = nranks;
+    sopts.requested_rank = rank;
+    sopts.timeout_s = options.comm_timeout_s;
+    sopts.cost = options.cost;
+    SocketComm comm(sopts);
+    code = fn(comm);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "[rank %d] error: %s\n", rank, e.what());
+    code = 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[rank %d] error: %s\n", rank, e.what());
+    code = 1;
+  }
+  // Flush inherited stdio, then leave without running atexit handlers —
+  // the parent's (gtest's, the CLI's) teardown belongs to the parent.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  _exit(code);
+}
+
+}  // namespace
+
+int run_ranks(int nranks, const std::function<int(Communicator&)>& fn,
+              const LaunchOptions& options) {
+  DKFAC_CHECK(nranks >= 1) << "run_ranks needs at least one rank";
+
+  RendezvousServer server;
+  std::vector<pid_t> children;
+  children.reserve(static_cast<size_t>(nranks));
+
+  // Parent-side stdio must be flushed before forking, or every child
+  // inherits (and later flushes) the same buffered bytes.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (int i = 0; i < nranks; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      for (pid_t child : children) ::waitpid(child, nullptr, 0);
+      throw Error("run_ranks: fork failed");
+    }
+    if (pid == 0) {
+      server.close();  // only the launcher accepts rendezvous connections
+      child_main(i, nranks, server.port(), options, fn);
+    }
+    children.push_back(pid);
+  }
+
+  try {
+    server.serve(nranks, options.rendezvous_timeout_s);
+  } catch (...) {
+    // The group never assembled (a child died or wedged before
+    // registering). Kill and reap everything so no rank outlives the
+    // launcher, then let the rendezvous error explain what happened.
+    for (pid_t child : children) ::kill(child, SIGKILL);
+    for (pid_t child : children) ::waitpid(child, nullptr, 0);
+    throw;
+  }
+
+  int first_failure = 0;
+  for (pid_t child : children) {
+    int status = 0;
+    if (::waitpid(child, &status, 0) < 0) {
+      if (first_failure == 0) first_failure = 1;
+      continue;
+    }
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (code != 0 && first_failure == 0) first_failure = code;
+  }
+  return first_failure;
+}
+
+}  // namespace dkfac::comm::net

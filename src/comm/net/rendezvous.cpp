@@ -1,0 +1,137 @@
+#include "comm/net/rendezvous.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace dkfac::comm::net {
+
+namespace {
+
+// Hello payload: u32 world_size | u32 requested_rank (as int32) | u16 port.
+constexpr size_t kHelloBytes = 10;
+
+std::vector<uint8_t> encode_hello(int world_size, int requested_rank,
+                                  uint16_t data_port) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kHelloBytes);
+  put_u32(payload, static_cast<uint32_t>(world_size));
+  put_u32(payload, static_cast<uint32_t>(requested_rank));
+  put_u16(payload, data_port);
+  return payload;
+}
+
+}  // namespace
+
+void RendezvousServer::serve(int world_size, double timeout_s) {
+  DKFAC_CHECK(world_size >= 1) << "rendezvous needs at least one worker";
+  const auto start = Clock::now();
+  auto remaining = [&] {
+    const double left = timeout_s - seconds_since(start);
+    if (left <= 0.0) {
+      throw Error("rendezvous: timed out waiting for workers");
+    }
+    return left;
+  };
+
+  struct Registration {
+    Socket sock;
+    int requested_rank = -1;
+    uint16_t data_port = 0;
+    int rank = -1;
+  };
+  std::vector<Registration> workers;
+  workers.reserve(static_cast<size_t>(world_size));
+
+  while (static_cast<int>(workers.size()) < world_size) {
+    Socket sock = listener_.accept(remaining());
+    std::vector<uint8_t> hello;
+    recv_frame(sock, FrameType::kHello, /*seq=*/0, hello, remaining());
+    DKFAC_CHECK(hello.size() == kHelloBytes)
+        << "rendezvous: malformed hello (" << hello.size() << " bytes)";
+    const int worker_world = static_cast<int>(get_u32(hello, 0));
+    DKFAC_CHECK(worker_world == world_size)
+        << "rendezvous: worker expects world size " << worker_world
+        << ", server is assembling " << world_size;
+    Registration reg;
+    reg.sock = std::move(sock);
+    reg.requested_rank = static_cast<int32_t>(get_u32(hello, 4));
+    reg.data_port = get_u16(hello, 8);
+    workers.push_back(std::move(reg));
+  }
+
+  // Rank assignment: honour distinct valid requests first, then fill the
+  // free slots in registration order.
+  std::vector<bool> taken(static_cast<size_t>(world_size), false);
+  for (Registration& reg : workers) {
+    const int want = reg.requested_rank;
+    if (want >= 0 && want < world_size && !taken[static_cast<size_t>(want)]) {
+      reg.rank = want;
+      taken[static_cast<size_t>(want)] = true;
+    }
+  }
+  int next_free = 0;
+  for (Registration& reg : workers) {
+    if (reg.rank >= 0) continue;
+    while (taken[static_cast<size_t>(next_free)]) ++next_free;
+    reg.rank = next_free;
+    taken[static_cast<size_t>(next_free)] = true;
+  }
+
+  std::vector<uint16_t> ports(static_cast<size_t>(world_size), 0);
+  for (const Registration& reg : workers) {
+    ports[static_cast<size_t>(reg.rank)] = reg.data_port;
+  }
+
+  // Welcome payload: u32 rank | u32 world_size | u16 port per rank.
+  for (Registration& reg : workers) {
+    std::vector<uint8_t> payload;
+    payload.reserve(8 + 2 * static_cast<size_t>(world_size));
+    put_u32(payload, static_cast<uint32_t>(reg.rank));
+    put_u32(payload, static_cast<uint32_t>(world_size));
+    for (uint16_t p : ports) put_u16(payload, p);
+    send_frame(reg.sock, FrameType::kWelcome, /*seq=*/0,
+               std::span<const uint8_t>(payload), remaining());
+  }
+}
+
+RendezvousInfo rendezvous_connect(const std::string& host, uint16_t port,
+                                  int world_size, int requested_rank,
+                                  uint16_t data_port, double timeout_s) {
+  DKFAC_CHECK(world_size >= 1) << "world size must be positive";
+  const auto start = Clock::now();
+  auto remaining = [&] {
+    const double left = timeout_s - seconds_since(start);
+    if (left <= 0.0) throw Error("rendezvous: timed out waiting for welcome");
+    return left;
+  };
+
+  Socket sock = Socket::connect_to(host, port, remaining());
+  const std::vector<uint8_t> hello =
+      encode_hello(world_size, requested_rank, data_port);
+  send_frame(sock, FrameType::kHello, /*seq=*/0,
+             std::span<const uint8_t>(hello), remaining());
+
+  std::vector<uint8_t> welcome;
+  recv_frame(sock, FrameType::kWelcome, /*seq=*/0, welcome, remaining());
+  DKFAC_CHECK(welcome.size() == 8 + 2 * static_cast<size_t>(world_size))
+      << "rendezvous: malformed welcome (" << welcome.size() << " bytes)";
+
+  RendezvousInfo info;
+  info.rank = static_cast<int32_t>(get_u32(welcome, 0));
+  info.world_size = static_cast<int>(get_u32(welcome, 4));
+  DKFAC_CHECK(info.world_size == world_size)
+      << "rendezvous: server assembled world size " << info.world_size
+      << ", worker expected " << world_size;
+  DKFAC_CHECK(info.rank >= 0 && info.rank < world_size)
+      << "rendezvous: server assigned out-of-range rank " << info.rank;
+  info.peer_ports.resize(static_cast<size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    info.peer_ports[static_cast<size_t>(r)] =
+        get_u16(welcome, 8 + 2 * static_cast<size_t>(r));
+  }
+  return info;
+}
+
+}  // namespace dkfac::comm::net

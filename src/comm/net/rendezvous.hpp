@@ -1,0 +1,72 @@
+// Rank rendezvous for the socket collective backend.
+//
+// One rendezvous server (normally hosted by the process launcher, see
+// net/launch.hpp) hands out ranks and the peer address table:
+//
+//   worker                         server
+//   ------                         ------
+//   connect(host, port)
+//   kHello {version, world_size,
+//           requested_rank,
+//           data_port}       ──▶   validate version + world size,
+//                                  park until all `world_size` workers
+//                                  have registered, assign ranks
+//   kWelcome {rank, world_size,
+//        ◀──  data_port[world_size]}
+//
+// Rank assignment honours distinct valid `requested_rank`s (the launcher
+// passes each child its index so child i is rank i); unrequested slots are
+// filled in registration order. Workers then build the data-plane mesh
+// among themselves (socket_comm.cpp) — the server is out of the picture
+// after the welcome and the launcher can turn to waiting on children.
+//
+// Every step runs under a deadline: a worker that never shows up fails
+// serve() with a dkfac::Error, a server that never answers fails
+// rendezvous_connect() the same way — no hangs, the property the
+// multi-process tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/net/wire.hpp"
+
+namespace dkfac::comm::net {
+
+/// What a worker learns from the rendezvous.
+struct RendezvousInfo {
+  int rank = 0;
+  int world_size = 1;
+  /// Data-plane listening port of every rank, indexed by rank (loopback).
+  std::vector<uint16_t> peer_ports;
+};
+
+class RendezvousServer {
+ public:
+  /// Binds 127.0.0.1 on an ephemeral port and starts listening — workers
+  /// may begin connecting the moment this returns.
+  RendezvousServer() = default;
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Accepts exactly `world_size` registrations, assigns ranks, and sends
+  /// every worker its welcome. Throws dkfac::Error if the full group does
+  /// not assemble within `timeout_s`.
+  void serve(int world_size, double timeout_s);
+
+  /// Drops the listening socket. Forked children call this so only the
+  /// launcher ever accepts on the inherited fd.
+  void close() { listener_.close(); }
+
+ private:
+  ListenSocket listener_;
+};
+
+/// Worker side: registers `data_port` with the server, requests
+/// `requested_rank` (-1 = any), and blocks until the welcome arrives.
+RendezvousInfo rendezvous_connect(const std::string& host, uint16_t port,
+                                  int world_size, int requested_rank,
+                                  uint16_t data_port, double timeout_s);
+
+}  // namespace dkfac::comm::net

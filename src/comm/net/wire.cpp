@@ -1,0 +1,485 @@
+#include "comm/net/wire.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace dkfac::comm::net {
+
+namespace {
+
+// Slicing-by-8 CRC-32 tables: table[k][b] advances the register by k+1
+// bytes at once, so the hot loop folds 8 payload bytes per iteration —
+// every collective payload is checksummed at every hop, so a bytewise
+// CRC would sit on the critical path next to the loopback copy itself.
+constexpr std::array<std::array<uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] = tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kCrcTables = make_crc_tables();
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Remaining milliseconds before `deadline`, clamped to [0, ...]; throws
+/// when already past it so every poll loop fails instead of spinning.
+int remaining_ms(Clock::time_point deadline, const char* what) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) {
+    throw Error(std::string(what) + ": timed out");
+  }
+  // Round up so a sub-millisecond remainder still polls once with 1 ms.
+  return static_cast<int>(left.count()) + 1;
+}
+
+void wait_ready(int fd, short events, Clock::time_point deadline,
+                const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline, what));
+    if (rc > 0) return;
+    if (rc < 0 && errno != EINTR) throw_errno(what);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DKFAC_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(O_NONBLOCK) failed: " << std::strerror(errno);
+}
+
+sockaddr_in local_addr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  DKFAC_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1)
+      << "invalid IPv4 address '" << host << "'";
+  return addr;
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data) {
+  const auto& t = kCrcTables;
+  uint32_t c = 0xFFFFFFFFu;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);      // little-endian layout, like the wire
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void FrameHeader::encode(uint8_t out[kFrameHeaderBytes]) const {
+  auto put32 = [&out](size_t off, uint32_t v) {
+    for (int i = 0; i < 4; ++i) out[off + i] = static_cast<uint8_t>(v >> (8 * i));
+  };
+  put32(0, magic);
+  out[4] = static_cast<uint8_t>(version);
+  out[5] = static_cast<uint8_t>(version >> 8);
+  out[6] = static_cast<uint8_t>(type);
+  out[7] = static_cast<uint8_t>(type >> 8);
+  put32(8, seq);
+  put32(12, length);
+  put32(16, checksum);
+}
+
+FrameHeader FrameHeader::decode(const uint8_t in[kFrameHeaderBytes]) {
+  auto get32 = [&in](size_t off) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[off + i]) << (8 * i);
+    return v;
+  };
+  FrameHeader h;
+  h.magic = get32(0);
+  h.version = static_cast<uint16_t>(in[4] | (in[5] << 8));
+  h.type = static_cast<uint16_t>(in[6] | (in[7] << 8));
+  h.seq = get32(8);
+  h.length = get32(12);
+  h.checksum = get32(16);
+  return h;
+}
+
+void FrameHeader::validate(const char* context) const {
+  DKFAC_CHECK(magic == kWireMagic)
+      << context << ": bad frame magic 0x" << std::hex << magic
+      << " (not a dkfac peer?)";
+  DKFAC_CHECK(version == kWireVersion)
+      << context << ": wire version mismatch — peer speaks v" << version
+      << ", this build speaks v" << kWireVersion;
+}
+
+// ---- Socket ---------------------------------------------------------------
+
+Socket::Socket(int fd) : fd_(fd) {
+  DKFAC_CHECK(fd_ >= 0) << "Socket given invalid fd";
+  set_nonblocking(fd_);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nodelay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Socket Socket::connect_to(const std::string& host, uint16_t port,
+                          double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  const sockaddr_in addr = local_addr(host, port);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket()");
+    Socket sock(fd);  // non-blocking from here on
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+    int err = rc == 0 ? 0 : errno;
+    if (err == EINPROGRESS) {
+      wait_ready(fd, POLLOUT, deadline, "connect");
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    }
+    if (err == 0) {
+      sock.set_nodelay();
+      return sock;
+    }
+    // The listener may not be accepting yet (rendezvous startup): retry
+    // refused/reset connections until the deadline.
+    if (err != ECONNREFUSED && err != ECONNRESET) {
+      errno = err;
+      throw_errno("connect");
+    }
+    if (Clock::now() >= deadline) {
+      throw Error("connect to " + host + ":" + std::to_string(port) +
+                  ": timed out (connection refused)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void Socket::send_all(const void* data, size_t n, double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE → Error, not SIGPIPE.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd_, POLLOUT, deadline, "send");
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw Error("send: peer closed the connection");
+    }
+    throw_errno("send");
+  }
+}
+
+void Socket::recv_all(void* data, size_t n, double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) throw Error("recv: peer closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd_, POLLIN, deadline, "recv");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) throw Error("recv: peer closed the connection");
+    throw_errno("recv");
+  }
+}
+
+// ---- ListenSocket ---------------------------------------------------------
+
+ListenSocket::ListenSocket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket()");
+  sock_ = Socket(fd);
+  sockaddr_in addr = local_addr("127.0.0.1", 0);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) != 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  DKFAC_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+      << "getsockname failed: " << std::strerror(errno);
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket ListenSocket::accept(double timeout_s) {
+  DKFAC_CHECK(sock_.valid()) << "accept on closed listener";
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket peer(fd);
+      peer.set_nodelay();
+      return peer;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(sock_.fd(), POLLIN, deadline, "accept");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+// ---- framed I/O -----------------------------------------------------------
+
+size_t send_frame(Socket& sock, FrameType type, uint32_t seq,
+                  std::span<const uint8_t> payload, double timeout_s) {
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.seq = seq;
+  header.length = static_cast<uint32_t>(payload.size());
+  DKFAC_CHECK(payload.size() == header.length) << "frame payload too large";
+  header.checksum = crc32(payload);
+  uint8_t raw[kFrameHeaderBytes];
+  header.encode(raw);
+  sock.send_all(raw, kFrameHeaderBytes, timeout_s);
+  if (!payload.empty()) sock.send_all(payload.data(), payload.size(), timeout_s);
+  return kFrameHeaderBytes + payload.size();
+}
+
+namespace {
+
+FrameHeader recv_validated_header(Socket& sock, FrameType type, uint32_t seq,
+                                  double timeout_s) {
+  uint8_t raw[kFrameHeaderBytes];
+  sock.recv_all(raw, kFrameHeaderBytes, timeout_s);
+  const FrameHeader header = FrameHeader::decode(raw);
+  header.validate("recv_frame");
+  DKFAC_CHECK(header.length <= kMaxFramePayloadBytes)
+      << "frame payload length " << header.length
+      << " exceeds the protocol cap (corrupt stream?)";
+  DKFAC_CHECK(header.type == static_cast<uint16_t>(type))
+      << "frame type mismatch: expected " << static_cast<int>(type) << ", got "
+      << header.type << " (collective sequence desync?)";
+  DKFAC_CHECK(header.seq == seq)
+      << "frame sequence mismatch: expected " << seq << ", got " << header.seq
+      << " (collective sequence desync?)";
+  return header;
+}
+
+void check_payload_crc(const FrameHeader& header,
+                       std::span<const uint8_t> payload) {
+  const uint32_t actual = crc32(payload);
+  DKFAC_CHECK(actual == header.checksum)
+      << "frame checksum mismatch: payload corrupted in transit (expected 0x"
+      << std::hex << header.checksum << ", got 0x" << actual << ")";
+}
+
+}  // namespace
+
+size_t recv_frame_into(Socket& sock, FrameType type, uint32_t seq,
+                       std::span<uint8_t> payload, double timeout_s) {
+  const FrameHeader header = recv_validated_header(sock, type, seq, timeout_s);
+  DKFAC_CHECK(header.length == payload.size())
+      << "frame length mismatch: peer sent " << header.length
+      << " bytes, expected " << payload.size();
+  if (!payload.empty()) sock.recv_all(payload.data(), payload.size(), timeout_s);
+  check_payload_crc(header, payload);
+  return kFrameHeaderBytes + payload.size();
+}
+
+size_t recv_frame(Socket& sock, FrameType type, uint32_t seq,
+                  std::vector<uint8_t>& out, double timeout_s) {
+  const FrameHeader header = recv_validated_header(sock, type, seq, timeout_s);
+  const size_t base = out.size();
+  out.resize(base + header.length);
+  if (header.length > 0) sock.recv_all(out.data() + base, header.length, timeout_s);
+  check_payload_crc(header,
+                    std::span<const uint8_t>(out.data() + base, header.length));
+  return kFrameHeaderBytes + header.length;
+}
+
+size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
+                       std::span<const uint8_t> send_payload, Socket& from,
+                       FrameType recv_type, uint32_t recv_seq,
+                       std::vector<uint8_t>& in_out, double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+
+  // Send state: header bytes then payload bytes, tracked by a single offset.
+  FrameHeader send_header;
+  send_header.type = static_cast<uint16_t>(send_type);
+  send_header.seq = send_seq;
+  send_header.length = static_cast<uint32_t>(send_payload.size());
+  send_header.checksum = crc32(send_payload);
+  uint8_t send_raw[kFrameHeaderBytes];
+  send_header.encode(send_raw);
+  size_t send_pos = 0;
+  const size_t send_total = kFrameHeaderBytes + send_payload.size();
+
+  // Receive state: header first, then payload appended to in_out.
+  uint8_t recv_raw[kFrameHeaderBytes];
+  size_t recv_pos = 0;
+  FrameHeader recv_header;
+  bool have_header = false;
+  const size_t recv_base = in_out.size();
+  size_t recv_total = kFrameHeaderBytes;  // grows once the header is parsed
+
+  auto pump_send = [&]() {
+    while (send_pos < send_total) {
+      const uint8_t* src = send_pos < kFrameHeaderBytes
+                               ? send_raw + send_pos
+                               : send_payload.data() + (send_pos - kFrameHeaderBytes);
+      const size_t left = send_pos < kFrameHeaderBytes
+                              ? kFrameHeaderBytes - send_pos
+                              : send_total - send_pos;
+      const ssize_t rc = ::send(to.fd(), src, left, MSG_NOSIGNAL);
+      if (rc > 0) {
+        send_pos += static_cast<size_t>(rc);
+        continue;
+      }
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+        throw Error("exchange: peer closed the connection");
+      }
+      throw_errno("exchange send");
+    }
+  };
+
+  auto pump_recv = [&]() {
+    for (;;) {
+      uint8_t* dst;
+      size_t left;
+      if (recv_pos < kFrameHeaderBytes) {
+        dst = recv_raw + recv_pos;
+        left = kFrameHeaderBytes - recv_pos;
+      } else {
+        if (!have_header) {
+          recv_header = FrameHeader::decode(recv_raw);
+          recv_header.validate("exchange");
+          DKFAC_CHECK(recv_header.length <= kMaxFramePayloadBytes)
+              << "exchange frame payload length " << recv_header.length
+              << " exceeds the protocol cap (corrupt stream?)";
+          DKFAC_CHECK(recv_header.type == static_cast<uint16_t>(recv_type))
+              << "exchange frame type mismatch: expected "
+              << static_cast<int>(recv_type) << ", got " << recv_header.type;
+          DKFAC_CHECK(recv_header.seq == recv_seq)
+              << "exchange frame sequence mismatch: expected " << recv_seq
+              << ", got " << recv_header.seq;
+          in_out.resize(recv_base + recv_header.length);
+          recv_total = kFrameHeaderBytes + recv_header.length;
+          have_header = true;
+        }
+        if (recv_pos >= recv_total) return;
+        dst = in_out.data() + recv_base + (recv_pos - kFrameHeaderBytes);
+        left = recv_total - recv_pos;
+      }
+      const ssize_t rc = ::recv(from.fd(), dst, left, 0);
+      if (rc > 0) {
+        recv_pos += static_cast<size_t>(rc);
+        if (recv_pos == recv_total && have_header) return;
+        continue;
+      }
+      if (rc == 0) throw Error("exchange: peer closed the connection");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) throw Error("exchange: peer closed the connection");
+      throw_errno("exchange recv");
+    }
+  };
+
+  auto recv_done = [&] { return have_header && recv_pos >= recv_total; };
+  // Parse the header as soon as it lands even if no more bytes follow yet
+  // (zero-length frames complete without another recv()).
+  while (send_pos < send_total || !recv_done()) {
+    pump_send();
+    pump_recv();
+    if (send_pos >= send_total && recv_done()) break;
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (send_pos < send_total) pfds[nfds++] = {to.fd(), POLLOUT, 0};
+    if (!recv_done()) pfds[nfds++] = {from.fd(), POLLIN, 0};
+    const int rc = ::poll(pfds, nfds, remaining_ms(deadline, "exchange"));
+    if (rc < 0 && errno != EINTR) throw_errno("exchange poll");
+  }
+
+  check_payload_crc(recv_header,
+                    std::span<const uint8_t>(in_out.data() + recv_base,
+                                             recv_header.length));
+  return send_total + recv_total;
+}
+
+}  // namespace dkfac::comm::net

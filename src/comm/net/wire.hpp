@@ -1,0 +1,186 @@
+// TCP wire protocol for the socket collective backend.
+//
+// Every message on a dkfac connection is one length-prefixed frame:
+//
+//   | magic u32 | version u16 | type u16 | seq u32 | length u32 | crc32 u32 |
+//   | payload bytes ... (length of them)                                    |
+//
+// all little-endian. `seq` is a per-connection, per-direction message
+// counter: both ends of a connection agree on how many frames have flowed
+// each way, so a desynchronised collective (one rank issuing a different
+// collective sequence than its peer) fails loudly at the frame layer
+// instead of silently reinterpreting payload bytes. `crc32` covers the
+// payload, catching corruption and framing bugs. The first frame on every
+// connection is a kHello carrying the protocol version — a peer built
+// against a different wire format is rejected before any payload moves.
+//
+// Socket is a poll-driven non-blocking RAII fd wrapper: every operation
+// takes a deadline, so a dead or wedged peer produces a dkfac::Error
+// ("timed out" / "closed the connection") instead of a hang — the
+// property the multi-process tests and the rendezvous path rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm::net {
+
+constexpr uint32_t kWireMagic = 0x444B4643;  // "DKFC"
+constexpr uint16_t kWireVersion = 1;
+
+/// Sanity cap on a single frame's payload. Legitimate payloads top out at
+/// the fusion-buffer clamp (64 MB); anything near UINT32_MAX is a corrupt
+/// or hostile stream, and the length must be rejected BEFORE the receive
+/// path allocates it — the checksum only runs after the payload lands.
+constexpr uint32_t kMaxFramePayloadBytes = 256u << 20;
+
+enum class FrameType : uint16_t {
+  kHello = 1,    // handshake: rendezvous registration / peer identification
+  kWelcome = 2,  // rendezvous reply: rank assignment + peer table
+  kData = 3,     // collective payload
+  kBarrier = 4,  // barrier token
+};
+
+constexpr size_t kFrameHeaderBytes = 20;
+
+struct FrameHeader {
+  uint32_t magic = kWireMagic;
+  uint16_t version = kWireVersion;
+  uint16_t type = 0;
+  uint32_t seq = 0;
+  uint32_t length = 0;    // payload bytes
+  uint32_t checksum = 0;  // crc32 of the payload
+
+  void encode(uint8_t out[kFrameHeaderBytes]) const;
+  static FrameHeader decode(const uint8_t in[kFrameHeaderBytes]);
+  /// Magic/version sanity — throws dkfac::Error with `context` on mismatch.
+  void validate(const char* context) const;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
+uint32_t crc32(std::span<const uint8_t> data);
+
+/// Non-blocking TCP socket with poll-based deadlines. Move-only RAII.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` and switches it to non-blocking mode.
+  explicit Socket(int fd);
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Connects to host:port, retrying refused connections until the
+  /// deadline (the listener may not be up yet during rendezvous).
+  static Socket connect_to(const std::string& host, uint16_t port,
+                           double timeout_s);
+
+  /// Disables Nagle batching — collective frames must not sit in the
+  /// kernel waiting for a full segment.
+  void set_nodelay();
+
+  /// Sends exactly `n` bytes before `deadline` or throws.
+  void send_all(const void* data, size_t n, double timeout_s);
+  /// Receives exactly `n` bytes before `deadline` or throws; a peer close
+  /// mid-message throws "closed the connection".
+  void recv_all(void* data, size_t n, double timeout_s);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1 with an ephemeral kernel-chosen port.
+class ListenSocket {
+ public:
+  ListenSocket();  // binds + listens immediately
+  uint16_t port() const { return port_; }
+  bool valid() const { return sock_.valid(); }
+  /// Accepts one connection before the deadline or throws.
+  Socket accept(double timeout_s);
+  /// Drops the listener (children of a forking launcher close their
+  /// inherited copy so only the owner ever accepts).
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  uint16_t port_ = 0;
+};
+
+// ---- framed I/O -----------------------------------------------------------
+//
+// All helpers return the wire bytes moved (header + payload) so callers
+// can account real bytes-on-wire in CommStats.
+
+/// Sends one frame. `seq` is the caller-maintained per-direction counter.
+size_t send_frame(Socket& sock, FrameType type, uint32_t seq,
+                  std::span<const uint8_t> payload, double timeout_s);
+inline size_t send_frame(Socket& sock, FrameType type, uint32_t seq,
+                         std::span<const float> payload, double timeout_s) {
+  return send_frame(sock, type, seq,
+                    std::span<const uint8_t>(
+                        reinterpret_cast<const uint8_t*>(payload.data()),
+                        payload.size_bytes()),
+                    timeout_s);
+}
+
+/// Receives one frame whose payload length must equal `payload.size()`;
+/// validates magic, version, type, seq, length, and checksum.
+size_t recv_frame_into(Socket& sock, FrameType type, uint32_t seq,
+                       std::span<uint8_t> payload, double timeout_s);
+inline size_t recv_frame_into(Socket& sock, FrameType type, uint32_t seq,
+                              std::span<float> payload, double timeout_s) {
+  return recv_frame_into(
+      sock, type, seq,
+      std::span<uint8_t>(reinterpret_cast<uint8_t*>(payload.data()),
+                         payload.size_bytes()),
+      timeout_s);
+}
+
+/// Receives one frame of unknown payload length (allgatherv blocks);
+/// appends the payload to `out` and returns the wire bytes moved.
+size_t recv_frame(Socket& sock, FrameType type, uint32_t seq,
+                  std::vector<uint8_t>& out, double timeout_s);
+
+/// Full-duplex exchange: sends one frame to `to` while receiving one frame
+/// from `from`, making progress on whichever direction is ready. This is
+/// the deadlock-free primitive for cyclic ring steps — with blocking I/O a
+/// ring where every rank sends before it receives wedges once payloads
+/// exceed the kernel socket buffers. The received payload is appended to
+/// `in_out`; returns wire bytes moved (both directions).
+size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
+                       std::span<const uint8_t> send_payload, Socket& from,
+                       FrameType recv_type, uint32_t recv_seq,
+                       std::vector<uint8_t>& in_out, double timeout_s);
+
+// ---- little-endian payload builders --------------------------------------
+
+inline void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+inline void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline uint16_t get_u16(std::span<const uint8_t> in, size_t offset) {
+  DKFAC_CHECK(offset + 2 <= in.size()) << "payload underflow";
+  return static_cast<uint16_t>(in[offset] | (in[offset + 1] << 8));
+}
+inline uint32_t get_u32(std::span<const uint8_t> in, size_t offset) {
+  DKFAC_CHECK(offset + 4 <= in.size()) << "payload underflow";
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[offset + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace dkfac::comm::net

@@ -78,7 +78,11 @@ void ThreadComm::broadcast(std::span<float> data, int root) {
   DKFAC_CHECK(root >= 0 && root < st.size)
       << "broadcast root " << root << " out of range for size " << st.size;
   stats_.broadcast_calls++;
-  stats_.broadcast_bytes += data.size_bytes();
+  // Cross-backend payload convention (see CommStats): the root injected
+  // the payload, receiving ranks contributed nothing. Counting on every
+  // rank would inflate the group-wide sum p× relative to allreduce and
+  // allgather, whose counters already sum to the injected payload.
+  if (rank_ == root) stats_.broadcast_bytes += data.size_bytes();
   if (st.size == 1) return;
 
   if (rank_ == root) {

@@ -70,6 +70,13 @@ class ThreadComm final : public Communicator {
   int rank() const override { return rank_; }
   int size() const override { return state_->size; }
 
+  /// Shared-memory fabric: near-zero launch latency, memcpy bandwidth —
+  /// the tuning everything above the collectives derives from.
+  const CostModel& cost_model() const override {
+    static const CostModel kModel = CostModel::shared_memory();
+    return kModel;
+  }
+
   void allreduce(std::span<float> data, ReduceOp op) override;
   std::vector<float> allgather(std::span<const float> send) override;
   void broadcast(std::span<float> data, int root) override;

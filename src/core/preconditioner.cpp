@@ -15,14 +15,16 @@ namespace dkfac::kfac {
 namespace {
 
 /// Fusion-buffer capacity for the factor allreduce: the explicit option
-/// when set, otherwise the α–β cost model's bandwidth-dominated chunk size
-/// for this world size. Validates first — this runs in the member-init
-/// list, before the constructor body, so a bad option set must surface as
-/// an options error rather than a low-level fusion-buffer failure.
-size_t factor_fusion_capacity(const KfacOptions& options, int ranks) {
+/// when set, otherwise the backend's own α–β cost model's bandwidth-
+/// dominated chunk size for this world size. Validates first — this runs
+/// in the member-init list, before the constructor body, so a bad option
+/// set must surface as an options error rather than a low-level
+/// fusion-buffer failure.
+size_t factor_fusion_capacity(const KfacOptions& options,
+                              const comm::Communicator& comm) {
   options.validate();
   if (options.fusion_capacity_bytes > 0) return options.fusion_capacity_bytes;
-  return comm::CostModel{}.recommended_fusion_bytes(ranks);
+  return comm.cost_model().recommended_fusion_bytes(comm.size());
 }
 
 }  // namespace
@@ -32,7 +34,7 @@ KfacPreconditioner::KfacPreconditioner(nn::Layer& model, comm::Communicator& com
     : model_(model),
       comm_(comm),
       options_(options),
-      fusion_(comm_, factor_fusion_capacity(options_, comm_.size())) {
+      fusion_(comm_, factor_fusion_capacity(options_, comm_)) {
   // options_ already validated by factor_fusion_capacity in the init list.
   for (nn::KfacCapturable* layer : model_.kfac_layers()) {
     LayerState state;

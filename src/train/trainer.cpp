@@ -22,28 +22,6 @@ namespace dkfac::train {
 
 namespace {
 
-/// Fused gradient allreduce — Horovod's DistributedOptimizer.synchronize().
-void allreduce_gradients(std::vector<nn::Parameter*>& params,
-                         comm::Communicator& comm) {
-  if (comm.size() == 1) return;
-  int64_t total = 0;
-  for (const nn::Parameter* p : params) total += p->grad.numel();
-  std::vector<float> fused(static_cast<size_t>(total));
-  int64_t offset = 0;
-  for (const nn::Parameter* p : params) {
-    std::copy(p->grad.data(), p->grad.data() + p->grad.numel(),
-              fused.data() + offset);
-    offset += p->grad.numel();
-  }
-  comm.allreduce(fused, comm::ReduceOp::kAverage);
-  offset = 0;
-  for (nn::Parameter* p : params) {
-    std::copy(fused.data() + offset, fused.data() + offset + p->grad.numel(),
-              p->grad.data());
-    offset += p->grad.numel();
-  }
-}
-
 /// Type-erased inner optimizer so the loop is optimizer-agnostic.
 class AnyOptimizer {
  public:
@@ -142,11 +120,10 @@ UpdateFreqs decayed_update_freqs(const TrainConfig& config, int epoch) {
   return {fac, inv};
 }
 
-namespace {
-
-TrainResult train_rank(const ModelFactory& factory,
-                       const data::SyntheticSpec& data_spec,
-                       const TrainConfig& config, comm::Communicator& comm) {
+TrainResult train_with_comm(const ModelFactory& factory,
+                            const data::SyntheticSpec& data_spec,
+                            const TrainConfig& config,
+                            comm::Communicator& comm) {
   const data::SyntheticImageDataset train_set(
       data_spec, data::SyntheticImageDataset::Split::kTrain);
   const data::SyntheticImageDataset val_set(
@@ -170,15 +147,24 @@ TrainResult train_rank(const ModelFactory& factory,
   // fuses and reduces whatever the readiness hooks submit while this
   // thread keeps computing. The only protocol rule: wait() before issuing
   // a collective directly on `comm` (the preconditioner and the epoch-end
-  // reductions below follow it).
+  // reductions below follow it). Both thresholds come from the backend's
+  // own fabric model: shared-memory collectives launch eagerly after tens
+  // of KB, the TCP backend holds batches until they are bandwidth-
+  // dominated at its much higher per-frame latency.
+  const comm::CostModel& cost = comm.cost_model();
   std::optional<comm::AsyncExecutor> executor;
   if (config.overlap_comm) {
-    // Thread-backed collectives have near-zero launch latency, so a small
-    // eager threshold starts hiding gradients behind backprop after a few
-    // layers; the cost-model capacity still caps how large a batch grows.
-    executor.emplace(comm,
-                     comm::CostModel{}.recommended_fusion_bytes(comm.size()),
-                     /*eager_bytes=*/32 << 10);
+    executor.emplace(comm, cost.recommended_fusion_bytes(comm.size()),
+                     cost.recommended_eager_bytes(comm.size()));
+  }
+  // Synchronous path: the fused gradient allreduce goes through the same
+  // capacity-chunked FusionBuffer the factor exchange uses, instead of
+  // materialising one monolithic all-parameter buffer per iteration —
+  // same bits (chunking never changes an elementwise reduction), bounded
+  // staging memory.
+  std::optional<comm::FusionBuffer> grad_fusion;
+  if (!executor && comm.size() > 1) {
+    grad_fusion.emplace(comm, cost.recommended_fusion_bytes(comm.size()));
   }
 
   std::optional<kfac::KfacPreconditioner> kfac;
@@ -248,8 +234,11 @@ TrainResult train_rank(const ModelFactory& factory,
 
       if (executor) {
         executor->wait();  // optimizer.synchronize(): grads now averaged
-      } else {
-        allreduce_gradients(params, comm);
+      } else if (grad_fusion) {
+        // Horovod's DistributedOptimizer.synchronize(): every parameter
+        // gradient rides one fused, capacity-chunked allreduce.
+        for (nn::Parameter* p : params) grad_fusion->add(p->grad);
+        grad_fusion->execute(comm::ReduceOp::kAverage);
       }
       if (kfac) kfac->step();                   // preconditioner.step()
       optimizer->step();                        // optimizer.step()
@@ -289,8 +278,6 @@ TrainResult train_rank(const ModelFactory& factory,
   return result;
 }
 
-}  // namespace
-
 TrainResult train_distributed(const ModelFactory& factory,
                               const data::SyntheticSpec& data_spec,
                               const TrainConfig& config, int world_size) {
@@ -301,22 +288,30 @@ TrainResult train_distributed(const ModelFactory& factory,
   std::vector<TrainResult> results(static_cast<size_t>(world_size));
   // Divide the machine's cores between ranks so nested OpenMP GEMMs do not
   // oversubscribe (each rank thread gets its own OpenMP team).
-  const int omp_threads = std::max(1, omp_get_num_procs() / world_size);
+  const int omp_threads = omp_threads_per_rank(world_size);
   group.run([&](int rank, comm::Communicator& comm) {
     omp_set_num_threads(omp_threads);
-    results[static_cast<size_t>(rank)] = train_rank(factory, data_spec, config, comm);
+    results[static_cast<size_t>(rank)] =
+        train_with_comm(factory, data_spec, config, comm);
   });
 
-  // All ranks compute identical metrics (collectives are deterministic);
-  // return rank 0's view.
+  // All ranks compute identical training metrics (collectives are
+  // deterministic). CommStats are per-rank contribution counters —
+  // broadcast bytes land on the root, allgather bytes on the sender — so
+  // rank 0's view is one rank's share of the traffic, not the group total.
   return results[0];
+}
+
+int omp_threads_per_rank(int world_size) {
+  DKFAC_CHECK(world_size >= 1);
+  return std::max(1, omp_get_num_procs() / world_size);
 }
 
 TrainResult train_single(const ModelFactory& factory,
                          const data::SyntheticSpec& data_spec,
                          const TrainConfig& config) {
   comm::SelfComm comm;
-  return train_rank(factory, data_spec, config, comm);
+  return train_with_comm(factory, data_spec, config, comm);
 }
 
 }  // namespace dkfac::train

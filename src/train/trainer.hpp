@@ -108,6 +108,23 @@ TrainResult train_single(const ModelFactory& factory,
                          const data::SyntheticSpec& data_spec,
                          const TrainConfig& config);
 
+/// Per-rank SPMD entry point on an existing communicator endpoint — the
+/// backend-agnostic core train_distributed (thread ranks) and the socket
+/// launcher (`net::run_ranks`, one process per rank) both drive. All ranks
+/// of the group must call it collectively with identical config. Results
+/// are bitwise identical across backends: both reduce in rank order.
+TrainResult train_with_comm(const ModelFactory& factory,
+                            const data::SyntheticSpec& data_spec,
+                            const TrainConfig& config,
+                            comm::Communicator& comm);
+
+/// OpenMP team size for one of `world_size` ranks sharing this machine
+/// (cores divided evenly, at least 1). The single definition every
+/// launcher must use — train_distributed applies it to thread ranks, and
+/// socket-rank callers apply it in each forked process — so both backends
+/// run identical per-rank parallelism.
+int omp_threads_per_rank(int world_size);
+
 /// Evaluates top-1 accuracy of `model` over the validation split, sharded
 /// across ranks and allreduced (every rank returns the global number).
 /// Counts correct predictions directly (argmax == label) and reduces

@@ -98,5 +98,47 @@ TEST(CostModel, AllgatherCheaperThanAllreduceSameBytes) {
   EXPECT_LT(m.allgather_time(1 << 24, 32), m.allreduce_time(1 << 24, 32));
 }
 
+TEST(CostModel, EagerBytesScaleWithFabricLatency) {
+  // The launch threshold is the payload where latency and bandwidth terms
+  // balance: a low-latency fabric (shared memory) must launch far earlier
+  // than loopback TCP — the reason the trainer derives it per backend.
+  const uint64_t thread_eager = CostModel::shared_memory().recommended_eager_bytes(4);
+  const uint64_t socket_eager = CostModel::loopback_tcp().recommended_eager_bytes(4);
+  EXPECT_LT(thread_eager, socket_eager);
+  // Shared memory at 4 ranks lands in the tens of KB — the regime the old
+  // hard-coded 32 KB threshold was tuned for.
+  EXPECT_GE(thread_eager, 4ull << 10);
+  EXPECT_LE(thread_eager, 128ull << 10);
+  EXPECT_LE(socket_eager, 8ull << 20);  // clamp
+  EXPECT_EQ(CostModel{}.recommended_eager_bytes(1), 4ull << 10);
+  EXPECT_THROW(CostModel{}.recommended_eager_bytes(0), Error);
+}
+
+TEST(CostModel, PipelineChunkCountBoundsAndGrowth) {
+  const CostModel m = CostModel::loopback_tcp();
+  EXPECT_EQ(m.pipeline_chunk_count(1 << 20, 1), 1);
+  EXPECT_EQ(m.pipeline_chunk_count(1 << 20, 2), 1);  // chain of 2: no pipeline
+  EXPECT_EQ(m.pipeline_chunk_count(0, 8), 1);
+  // More bytes → more chunks, up to the caps.
+  const int small = m.pipeline_chunk_count(64 << 10, 4);
+  const int large = m.pipeline_chunk_count(64 << 20, 4);
+  EXPECT_LE(small, large);
+  EXPECT_GE(small, 1);
+  EXPECT_LE(large, 256);
+  // Chunks never shrink below the 4 KB frame-amortisation floor.
+  EXPECT_EQ(m.pipeline_chunk_count(6 << 10, 64), 1);
+}
+
+TEST(CostModel, AllreduceAlgorithmCrossoverIsSizeMonotonic) {
+  // Circulation wins on latency for small payloads, the pipelined ring on
+  // bandwidth for large ones; between them there is one crossover.
+  const CostModel m = CostModel::loopback_tcp();
+  const int ranks = 8;
+  EXPECT_LT(m.circulating_allreduce_time(1 << 10, ranks),
+            m.pipelined_allreduce_time(1 << 10, ranks));
+  EXPECT_GT(m.circulating_allreduce_time(16 << 20, ranks),
+            m.pipelined_allreduce_time(16 << 20, ranks));
+}
+
 }  // namespace
 }  // namespace dkfac::comm

@@ -1,0 +1,260 @@
+#include "comm/net/wire.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace dkfac::comm::net {
+namespace {
+
+/// Connected AF_UNIX stream pair — the in-process stand-in for a TCP
+/// connection (same stream semantics, no ports to allocate).
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+std::vector<float> test_payload(size_t n) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 0.5f * static_cast<float>(i) - 3.25f;
+  return v;
+}
+
+TEST(Wire, Crc32KnownVector) {
+  // The canonical IEEE CRC-32 check value.
+  const char* data = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const uint8_t*>(data), 9}), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Wire, HeaderEncodeDecodeRoundTrip) {
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(FrameType::kData);
+  h.seq = 0xDEADBEEFu;
+  h.length = 1234;
+  h.checksum = 0x12345678u;
+  uint8_t raw[kFrameHeaderBytes];
+  h.encode(raw);
+  const FrameHeader d = FrameHeader::decode(raw);
+  EXPECT_EQ(d.magic, kWireMagic);
+  EXPECT_EQ(d.version, kWireVersion);
+  EXPECT_EQ(d.type, h.type);
+  EXPECT_EQ(d.seq, h.seq);
+  EXPECT_EQ(d.length, h.length);
+  EXPECT_EQ(d.checksum, h.checksum);
+}
+
+TEST(Wire, FrameRoundTrip) {
+  auto [a, b] = socket_pair();
+  const std::vector<float> sent = test_payload(257);
+  const size_t wire_out = send_frame(a, FrameType::kData, /*seq=*/7,
+                                     std::span<const float>(sent), 1.0);
+  EXPECT_EQ(wire_out, kFrameHeaderBytes + sent.size() * sizeof(float));
+
+  std::vector<float> got(sent.size(), 0.0f);
+  const size_t wire_in =
+      recv_frame_into(b, FrameType::kData, /*seq=*/7, std::span<float>(got), 1.0);
+  EXPECT_EQ(wire_in, wire_out);
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Wire, ZeroLengthFrame) {
+  auto [a, b] = socket_pair();
+  send_frame(a, FrameType::kBarrier, /*seq=*/0, std::span<const float>{}, 1.0);
+  std::vector<uint8_t> out;
+  EXPECT_EQ(recv_frame(b, FrameType::kBarrier, /*seq=*/0, out, 1.0),
+            kFrameHeaderBytes);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, VariableLengthFrameAppends) {
+  auto [a, b] = socket_pair();
+  const std::vector<float> sent = test_payload(10);
+  send_frame(a, FrameType::kData, /*seq=*/0, std::span<const float>(sent), 1.0);
+  std::vector<uint8_t> out{0xAB};  // pre-existing content must survive
+  recv_frame(b, FrameType::kData, /*seq=*/0, out, 1.0);
+  ASSERT_EQ(out.size(), 1 + sent.size() * sizeof(float));
+  EXPECT_EQ(out[0], 0xAB);
+  std::vector<float> got(sent.size());
+  std::memcpy(got.data(), out.data() + 1, sent.size() * sizeof(float));
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Wire, ChecksumMismatchThrows) {
+  auto [a, b] = socket_pair();
+  const std::vector<float> payload = test_payload(16);
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(FrameType::kData);
+  h.length = static_cast<uint32_t>(payload.size() * sizeof(float));
+  h.checksum = 0x0BADF00Du;  // wrong on purpose
+  uint8_t raw[kFrameHeaderBytes];
+  h.encode(raw);
+  a.send_all(raw, kFrameHeaderBytes, 1.0);
+  a.send_all(payload.data(), payload.size() * sizeof(float), 1.0);
+  std::vector<float> got(payload.size());
+  try {
+    recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(got), 1.0);
+    FAIL() << "corrupted frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Wire, VersionMismatchThrows) {
+  auto [a, b] = socket_pair();
+  FrameHeader h;
+  h.version = kWireVersion + 1;
+  h.type = static_cast<uint16_t>(FrameType::kHello);
+  uint8_t raw[kFrameHeaderBytes];
+  h.encode(raw);
+  a.send_all(raw, kFrameHeaderBytes, 1.0);
+  std::vector<uint8_t> out;
+  try {
+    recv_frame(b, FrameType::kHello, /*seq=*/0, out, 1.0);
+    FAIL() << "future-versioned frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Wire, BadMagicThrows) {
+  auto [a, b] = socket_pair();
+  FrameHeader h;
+  h.magic = 0x12345678;
+  uint8_t raw[kFrameHeaderBytes];
+  h.encode(raw);
+  a.send_all(raw, kFrameHeaderBytes, 1.0);
+  std::vector<uint8_t> out;
+  EXPECT_THROW(recv_frame(b, FrameType::kHello, /*seq=*/0, out, 1.0), Error);
+}
+
+TEST(Wire, SequenceMismatchThrows) {
+  auto [a, b] = socket_pair();
+  const std::vector<float> payload = test_payload(4);
+  send_frame(a, FrameType::kData, /*seq=*/5, std::span<const float>(payload), 1.0);
+  std::vector<float> got(payload.size());
+  try {
+    recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(got), 1.0);
+    FAIL() << "desynchronised frame accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("sequence"), std::string::npos);
+  }
+}
+
+TEST(Wire, TypeMismatchThrows) {
+  auto [a, b] = socket_pair();
+  send_frame(a, FrameType::kBarrier, /*seq=*/0, std::span<const float>{}, 1.0);
+  std::vector<uint8_t> out;
+  EXPECT_THROW(recv_frame(b, FrameType::kData, /*seq=*/0, out, 1.0), Error);
+}
+
+TEST(Wire, LengthMismatchThrows) {
+  auto [a, b] = socket_pair();
+  const std::vector<float> payload = test_payload(8);
+  send_frame(a, FrameType::kData, /*seq=*/0, std::span<const float>(payload), 1.0);
+  std::vector<float> got(4);  // expects half of what the peer sent
+  EXPECT_THROW(
+      recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(got), 1.0),
+      Error);
+}
+
+TEST(Wire, RecvTimeoutThrowsQuickly) {
+  auto [a, b] = socket_pair();
+  (void)a;  // never sends
+  std::vector<float> got(4);
+  const auto start = Clock::now();
+  try {
+    recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(got), 0.2);
+    FAIL() << "recv on a silent peer returned";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  EXPECT_LT(seconds_since(start), 2.0);  // a timeout, not a hang
+}
+
+TEST(Wire, PeerCloseThrows) {
+  auto [a, b] = socket_pair();
+  a.close();
+  std::vector<float> got(4);
+  try {
+    recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(got), 1.0);
+    FAIL() << "recv from a dead peer returned";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("closed"), std::string::npos);
+  }
+}
+
+TEST(Wire, SendToClosedPeerThrowsNotSigpipe) {
+  auto [a, b] = socket_pair();
+  b.close();
+  const std::vector<float> payload = test_payload(1 << 16);
+  // The first sends may land in the kernel buffer; keep writing until the
+  // reset surfaces. MSG_NOSIGNAL must turn SIGPIPE into an Error.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) {
+          send_frame(a, FrameType::kData, static_cast<uint32_t>(i),
+                     std::span<const float>(payload), 1.0);
+        }
+      },
+      Error);
+}
+
+TEST(Wire, ExchangeFullDuplexSingleThreaded) {
+  // One endpoint pre-loads a frame, then exchange() on the other side must
+  // send and receive concurrently without a second thread.
+  auto [a, b] = socket_pair();
+  const std::vector<float> from_b = test_payload(33);
+  send_frame(b, FrameType::kData, /*seq=*/0, std::span<const float>(from_b), 1.0);
+
+  const std::vector<float> from_a = test_payload(77);
+  std::vector<uint8_t> got;
+  const size_t moved = exchange_frames(
+      a, FrameType::kData, /*send_seq=*/0,
+      {reinterpret_cast<const uint8_t*>(from_a.data()), from_a.size() * sizeof(float)},
+      a, FrameType::kData, /*recv_seq=*/0, got, 1.0);
+  EXPECT_EQ(moved, 2 * kFrameHeaderBytes + (33 + 77) * sizeof(float));
+  ASSERT_EQ(got.size(), from_b.size() * sizeof(float));
+  EXPECT_EQ(std::memcmp(got.data(), from_b.data(), got.size()), 0);
+
+  std::vector<float> b_got(from_a.size());
+  recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(b_got), 1.0);
+  EXPECT_EQ(b_got, from_a);
+}
+
+TEST(Wire, ExchangeLargePayloadsDoNotDeadlock) {
+  // Both sides send 8 MB at once — far beyond any socket buffer. Blocking
+  // send-then-recv would wedge here; the full-duplex pump must not.
+  auto [a, b] = socket_pair();
+  const std::vector<float> big_a = test_payload(2 << 20);
+  const std::vector<float> big_b = test_payload(2 << 20);
+
+  std::thread other([&] {
+    std::vector<uint8_t> got;
+    exchange_frames(b, FrameType::kData, /*send_seq=*/0,
+                    {reinterpret_cast<const uint8_t*>(big_b.data()),
+                     big_b.size() * sizeof(float)},
+                    b, FrameType::kData, /*recv_seq=*/0, got, 30.0);
+    EXPECT_EQ(got.size(), big_a.size() * sizeof(float));
+    EXPECT_EQ(std::memcmp(got.data(), big_a.data(), got.size()), 0);
+  });
+
+  std::vector<uint8_t> got;
+  exchange_frames(a, FrameType::kData, /*send_seq=*/0,
+                  {reinterpret_cast<const uint8_t*>(big_a.data()),
+                   big_a.size() * sizeof(float)},
+                  a, FrameType::kData, /*recv_seq=*/0, got, 30.0);
+  other.join();
+  EXPECT_EQ(got.size(), big_b.size() * sizeof(float));
+  EXPECT_EQ(std::memcmp(got.data(), big_b.data(), got.size()), 0);
+}
+
+}  // namespace
+}  // namespace dkfac::comm::net

@@ -1,0 +1,144 @@
+// Backend parity, end to end: a multi-process SocketComm training run must
+// produce bitwise-identical model weights to the same run on thread-backed
+// ranks — with and without the overlapped communication pipeline, with and
+// without K-FAC. Verified through checkpoint files: every variant saves
+// rank 0's trained model and the files must match byte for byte (the
+// checkpoint format is deterministic, so file equality == weight
+// equality, BatchNorm running stats included).
+//
+// Ordering note: ALL forked socket variants run before ANY thread-backed
+// variant — fork() is only safe before this process has spawned OpenMP
+// teams (libgomp's pool does not survive into children), and the
+// thread-backed runs spawn them. That is why every variant lives in one
+// TEST: per-variant cases would break the invariant from the second case
+// on whenever the binary runs them in a single process (e.g. invoked
+// directly rather than through ctest's one-process-per-case discovery).
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/net/launch.hpp"
+#include "data/synthetic.hpp"
+#include "nn/resnet.hpp"
+#include "nn/serialize.hpp"
+#include "train/trainer.hpp"
+
+namespace dkfac::train {
+namespace {
+
+constexpr int kWorld = 4;
+
+data::SyntheticSpec tiny_spec() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 3;
+  spec.height = spec.width = 8;
+  spec.grid = 2;
+  spec.train_size = 128;
+  spec.val_size = 64;
+  spec.noise = 0.6f;
+  spec.seed = 77;
+  return spec;
+}
+
+ModelFactory tiny_cnn_factory() {
+  return [](Rng& rng) { return nn::simple_cnn(3, 4, rng, 4); };
+}
+
+TrainConfig tiny_config(bool overlap, bool use_kfac) {
+  TrainConfig config;
+  config.local_batch = 8;
+  config.epochs = 2;
+  config.lr = {.base_lr = 0.05f, .warmup_epochs = 1.0f};
+  config.momentum = 0.9f;
+  config.eval_batch = 16;
+  config.overlap_comm = overlap;
+  config.use_kfac = use_kfac;
+  if (use_kfac) {
+    config.kfac.damping = 0.01f;
+    config.kfac.with_update_freq(2);
+  }
+  return config;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing checkpoint " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Trains on `kWorld` forked socket ranks; rank 0 checkpoints to `path`.
+void train_socket_to(const TrainConfig& base, const std::string& path) {
+  TrainConfig config = base;
+  config.on_trained_model = [&path](nn::Layer& model) {
+    nn::save_checkpoint(model, path);
+  };
+  comm::net::LaunchOptions options;
+  options.rendezvous_timeout_s = 20.0;
+  options.comm_timeout_s = 60.0;
+  const int status = comm::net::run_ranks(
+      kWorld,
+      [&config](comm::Communicator& comm) {
+        omp_set_num_threads(omp_threads_per_rank(kWorld));
+        (void)train_with_comm(tiny_cnn_factory(), tiny_spec(), config, comm);
+        return 0;
+      },
+      options);
+  ASSERT_EQ(status, 0) << "socket training run failed";
+}
+
+/// Trains on `kWorld` thread ranks; rank 0 checkpoints to `path`.
+void train_thread_to(const TrainConfig& base, const std::string& path) {
+  TrainConfig config = base;
+  config.on_trained_model = [&path](nn::Layer& model) {
+    nn::save_checkpoint(model, path);
+  };
+  (void)train_distributed(tiny_cnn_factory(), tiny_spec(), config, kWorld);
+}
+
+struct Variant {
+  bool overlap;
+  bool use_kfac;
+  const char* tag;
+};
+
+constexpr Variant kVariants[] = {
+    {false, false, "sync_sgd"},
+    {true, false, "overlap_sgd"},
+    {false, true, "sync_kfac"},
+    {true, true, "overlap_kfac"},
+};
+
+TEST(SocketTrainParity, WeightsBitwiseIdenticalAcrossBackends) {
+  const std::string dir = ::testing::TempDir();
+  auto ckpt = [&dir](const char* backend, const char* tag) {
+    return dir + "dkfac_" + backend + "_" + tag + ".ckpt";
+  };
+
+  // Phase 1: every forked socket run, while this process is still
+  // OpenMP-free.
+  for (const Variant& v : kVariants) {
+    SCOPED_TRACE(v.tag);
+    train_socket_to(tiny_config(v.overlap, v.use_kfac), ckpt("socket", v.tag));
+  }
+  // Phase 2: the thread-backed references (these spawn OpenMP teams).
+  for (const Variant& v : kVariants) {
+    train_thread_to(tiny_config(v.overlap, v.use_kfac), ckpt("thread", v.tag));
+  }
+
+  for (const Variant& v : kVariants) {
+    const std::vector<char> socket_bytes = read_file(ckpt("socket", v.tag));
+    const std::vector<char> thread_bytes = read_file(ckpt("thread", v.tag));
+    ASSERT_FALSE(socket_bytes.empty()) << v.tag;
+    EXPECT_TRUE(socket_bytes == thread_bytes)
+        << v.tag
+        << ": socket-trained weights differ from thread-trained weights";
+  }
+}
+
+}  // namespace
+}  // namespace dkfac::train
