@@ -1,0 +1,248 @@
+// Ablation: factor-exchange wire precision (fp32 / fp16 / bf16).
+//
+// The lossy-compression extension quantises K-FAC factor and
+// decomposition payloads to 16 bit before they enter the collectives
+// (comm::Codec, encode-once-reduce-in-fp32). This bench measures what
+// that buys and what it costs across the full backend matrix:
+//
+//   SGD baseline / K-FAC  ×  sync / overlap  ×  thread / socket
+//
+// reporting ms/step, the factor reduction chain (dense → packed →
+// encoded bytes), the socket backend's real bytes-on-wire, the final
+// loss, and the loss delta vs the same configuration at fp32. It also
+// re-verifies the acceptance contract: thread and socket checkpoints
+// must stay bitwise identical at EVERY precision (the lossy codec must
+// never introduce backend-dependent results), while bf16/fp16 must ship
+// measurably fewer wire bytes than fp32.
+//
+// Process hygiene: the socket variants run FIRST — fork() must precede
+// any OpenMP team in this process, and the thread variants spawn them.
+#include <omp.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "comm/codec.hpp"
+#include "comm/net/launch.hpp"
+#include "nn/serialize.hpp"
+
+namespace {
+
+using namespace dkfac;
+
+constexpr int kWorld = 4;
+constexpr int kEpochs = 2;
+
+struct Job {
+  bool use_kfac;
+  comm::Precision precision;  // meaningful only with use_kfac
+  bool overlap;
+};
+
+struct Row {
+  double ms_per_step = 0.0;
+  double factor_dense_mb = 0.0;
+  double factor_packed_mb = 0.0;
+  double factor_encoded_mb = 0.0;
+  double wire_sent_mb = 0.0;
+  float final_loss = 0.0f;
+  float final_acc = 0.0f;
+};
+
+std::string job_tag(const Job& job, const char* backend) {
+  std::string tag = std::string(backend) + "_" +
+                    (job.use_kfac ? "kfac" : "sgd") + "_" +
+                    (job.overlap ? "olap" : "sync");
+  if (job.use_kfac) tag += std::string("_") + comm::precision_name(job.precision);
+  return tag;
+}
+
+train::TrainConfig job_config(const Job& job) {
+  train::TrainConfig config = bench::bench_train_config(kEpochs, 0.05f,
+                                                        job.use_kfac);
+  config.local_batch = 32;
+  config.overlap_comm = job.overlap;
+  if (job.use_kfac) {
+    config.kfac.with_update_freq(5);
+    config.kfac.factor_precision = job.precision;
+  }
+  return config;
+}
+
+Row to_row(const train::TrainResult& result) {
+  Row row;
+  row.ms_per_step =
+      result.total_seconds / static_cast<double>(result.iterations) * 1e3;
+  row.factor_dense_mb =
+      static_cast<double>(result.comm_stats.factor_dense_bytes) / 1e6;
+  row.factor_packed_mb =
+      static_cast<double>(result.comm_stats.factor_packed_bytes) / 1e6;
+  row.factor_encoded_mb =
+      static_cast<double>(result.comm_stats.factor_encoded_bytes) / 1e6;
+  row.wire_sent_mb =
+      static_cast<double>(result.comm_stats.wire_sent_bytes) / 1e6;
+  row.final_loss = result.epochs.back().train_loss;
+  row.final_acc = result.final_val_accuracy;
+  return row;
+}
+
+void write_row(const Row& row, const std::string& path) {
+  std::ofstream out(path);
+  out << row.ms_per_step << ' ' << row.factor_dense_mb << ' '
+      << row.factor_packed_mb << ' ' << row.factor_encoded_mb << ' '
+      << row.wire_sent_mb << ' ' << row.final_loss << ' ' << row.final_acc
+      << '\n';
+}
+
+bool read_row(const std::string& path, Row& row) {
+  std::ifstream in(path);
+  return static_cast<bool>(in >> row.ms_per_step >> row.factor_dense_mb >>
+                           row.factor_packed_mb >> row.factor_encoded_mb >>
+                           row.wire_sent_mb >> row.final_loss >> row.final_acc);
+}
+
+std::string ckpt_path(const std::string& tag) {
+  return "/tmp/dkfac_precision_" + tag + ".ckpt";
+}
+std::string row_path(const std::string& tag) {
+  return "/tmp/dkfac_precision_" + tag + ".row";
+}
+
+/// Socket-backed run: rank 0's child writes the row + checkpoint files.
+int run_socket(const Job& job) {
+  const std::string tag = job_tag(job, "socket");
+  train::TrainConfig config = job_config(job);
+  config.on_trained_model = [tag](nn::Layer& model) {
+    nn::save_checkpoint(model, ckpt_path(tag));
+  };
+  return comm::net::run_ranks(kWorld, [&](comm::Communicator& comm) {
+    omp_set_num_threads(train::omp_threads_per_rank(kWorld));
+    const train::TrainResult result = train::train_with_comm(
+        bench::bench_resnet_factory(8, 10, 8), bench::bench_cifar_spec(),
+        config, comm);
+    if (comm.rank() == 0) write_row(to_row(result), row_path(tag));
+    return 0;
+  });
+}
+
+void run_thread(const Job& job) {
+  const std::string tag = job_tag(job, "thread");
+  train::TrainConfig config = job_config(job);
+  config.on_trained_model = [tag](nn::Layer& model) {
+    nn::save_checkpoint(model, ckpt_path(tag));
+  };
+  const train::TrainResult result = train::train_distributed(
+      bench::bench_resnet_factory(8, 10, 8), bench::bench_cifar_spec(),
+      config, kWorld);
+  write_row(to_row(result), row_path(tag));
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void print_row(const Job& job, const char* backend, float fp32_loss) {
+  Row row;
+  if (!read_row(row_path(job_tag(job, backend)), row)) {
+    std::printf("%-24s  (missing result)\n", job_tag(job, backend).c_str());
+    return;
+  }
+  const char* precision =
+      job.use_kfac ? comm::precision_name(job.precision) : "-";
+  std::printf("%-7s %-5s %-5s %-5s %8.2f %9.3f %9.3f %9.3f %10.3f %9.4f",
+              backend, job.use_kfac ? "kfac" : "sgd", precision,
+              job.overlap ? "olap" : "sync", row.ms_per_step,
+              row.factor_dense_mb, row.factor_packed_mb, row.factor_encoded_mb,
+              row.wire_sent_mb, row.final_loss);
+  if (job.use_kfac && job.precision != comm::Precision::kFp32) {
+    std::printf("  %+9.5f", row.final_loss - fp32_loss);
+  } else {
+    std::printf("  %9s", "-");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation",
+                      "Factor-exchange wire precision (comm::Codec)");
+  bench::print_note("4 ranks, ResNet-8 stand-in, K-FAC update interval 5; "
+                    "factor bytes show the dense->packed->encoded reduction "
+                    "chain (rank-0 contribution convention), wire bytes are "
+                    "rank 0's real TCP traffic; loss delta is vs fp32 at the "
+                    "same backend/pipeline");
+
+  const std::vector<Job> jobs = {
+      {false, comm::Precision::kFp32, false},
+      {false, comm::Precision::kFp32, true},
+      {true, comm::Precision::kFp32, false},
+      {true, comm::Precision::kFp16, false},
+      {true, comm::Precision::kBf16, false},
+      {true, comm::Precision::kFp32, true},
+      {true, comm::Precision::kFp16, true},
+      {true, comm::Precision::kBf16, true},
+  };
+
+  // Forked variants first (fork-before-OpenMP), thread references second.
+  for (const Job& job : jobs) {
+    if (run_socket(job) != 0) {
+      std::fprintf(stderr, "socket run %s failed\n",
+                   job_tag(job, "socket").c_str());
+      return 1;
+    }
+  }
+  for (const Job& job : jobs) run_thread(job);
+
+  std::printf("\n%-7s %-5s %-5s %-5s %8s %9s %9s %9s %10s %9s %10s\n",
+              "backend", "optim", "prec", "comm", "ms/step", "dense MB",
+              "packed MB", "enc MB", "wire MB", "loss", "d-loss");
+  for (const char* backend : {"thread", "socket"}) {
+    for (const Job& job : jobs) {
+      float fp32_loss = 0.0f;
+      if (job.use_kfac) {
+        Row fp32_row;
+        Job fp32_job = job;
+        fp32_job.precision = comm::Precision::kFp32;
+        if (read_row(row_path(job_tag(fp32_job, backend)), fp32_row)) {
+          fp32_loss = fp32_row.final_loss;
+        }
+      }
+      print_row(job, backend, fp32_loss);
+    }
+  }
+
+  // Acceptance checks: cross-backend bitwise parity at every precision,
+  // and a real wire-byte reduction for the compressed runs.
+  bool ok = true;
+  for (const Job& job : jobs) {
+    const std::vector<char> thread_bytes = slurp(ckpt_path(job_tag(job, "thread")));
+    const std::vector<char> socket_bytes = slurp(ckpt_path(job_tag(job, "socket")));
+    const bool match = !thread_bytes.empty() && thread_bytes == socket_bytes;
+    ok = ok && match;
+    std::printf("check: %-24s thread==socket checkpoints: %s\n",
+                job_tag(job, "socket").c_str() + 7, match ? "PASS" : "FAIL");
+  }
+  for (bool overlap : {false, true}) {
+    Row fp32, bf16;
+    Job base{true, comm::Precision::kFp32, overlap};
+    Job compressed{true, comm::Precision::kBf16, overlap};
+    if (read_row(row_path(job_tag(base, "socket")), fp32) &&
+        read_row(row_path(job_tag(compressed, "socket")), bf16)) {
+      const bool shrank = bf16.wire_sent_mb < fp32.wire_sent_mb;
+      ok = ok && shrank;
+      std::printf("check: bf16 %s wire bytes < fp32 (%.3f MB < %.3f MB): %s\n",
+                  overlap ? "olap" : "sync", bf16.wire_sent_mb,
+                  fp32.wire_sent_mb, shrank ? "PASS" : "FAIL");
+    } else {
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -5,7 +5,7 @@
 //             [--backend thread|socket] [--workers N | --ranks N]
 //             [--epochs N] [--batch N] [--lr F]
 //             [--update-freq N] [--rank-fraction F] [--overlap]
-//             [--save PATH]
+//             [--factor-precision fp32|fp16|bf16] [--save PATH]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
 // optionally writes a checkpoint. `--backend thread` (default) runs the
@@ -41,6 +41,7 @@ struct CliOptions {
   int update_freq = 10;
   float rank_fraction = 1.0f;
   bool overlap = false;
+  std::string factor_precision = "fp32";
   std::string save_path;
 };
 
@@ -51,7 +52,7 @@ struct CliOptions {
                "[--backend thread|socket] [--workers N | --ranks N] "
                "[--epochs N] [--batch N] [--lr F] "
                "[--update-freq N] [--rank-fraction F] [--overlap] "
-               "[--save PATH]\n");
+               "[--factor-precision fp32|fp16|bf16] [--save PATH]\n");
   std::exit(2);
 }
 
@@ -75,6 +76,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--update-freq") opts.update_freq = std::atoi(next());
     else if (arg == "--rank-fraction") opts.rank_fraction = std::atof(next());
     else if (arg == "--overlap") opts.overlap = true;
+    else if (arg == "--factor-precision") opts.factor_precision = next();
     else if (arg == "--save") opts.save_path = next();
     else usage_and_exit();
   }
@@ -134,6 +136,13 @@ int main(int argc, char** argv) {
     config.kfac.damping = 0.003f;
     config.kfac.with_update_freq(cli.update_freq);
     config.kfac.eigen_rank_fraction = cli.rank_fraction;
+    // Bad values route to usage like every other enum flag, instead of an
+    // uncaught parse_precision Error aborting before the try block below.
+    if (cli.factor_precision != "fp32" && cli.factor_precision != "fp16" &&
+        cli.factor_precision != "bf16") {
+      usage_and_exit();
+    }
+    config.kfac.factor_precision = comm::parse_precision(cli.factor_precision);
     if (cli.strategy == "lw") {
       config.kfac.strategy = kfac::DistributionStrategy::kLayerWise;
     } else if (cli.strategy == "opt") {
@@ -154,12 +163,13 @@ int main(int argc, char** argv) {
 
   if (cli.backend != "thread" && cli.backend != "socket") usage_and_exit();
   std::printf("model=%s optimizer=%s kfac=%s backend=%s workers=%d epochs=%d "
-              "global-batch=%lld comm=%s\n",
+              "global-batch=%lld comm=%s factor-precision=%s\n",
               cli.model.c_str(), cli.optimizer.c_str(),
               cli.use_kfac ? cli.strategy.c_str() : "off", cli.backend.c_str(),
               cli.workers, cli.epochs,
               static_cast<long long>(cli.batch * cli.workers),
-              cli.overlap ? "overlapped" : "synchronous");
+              cli.overlap ? "overlapped" : "synchronous",
+              cli.use_kfac ? cli.factor_precision.c_str() : "n/a");
 
   const auto print_result = [&cli](const train::TrainResult& result) {
     for (const train::EpochMetrics& m : result.epochs) {
@@ -171,6 +181,13 @@ int main(int argc, char** argv) {
     std::printf("best validation accuracy: %.1f%%; comm volume %llu bytes\n",
                 100.0f * result.best_val_accuracy,
                 static_cast<unsigned long long>(result.comm_stats.total_bytes()));
+    if (cli.use_kfac && result.comm_stats.factor_dense_bytes > 0) {
+      std::printf("factor payload: %llu dense -> %llu packed -> %llu encoded "
+                  "bytes\n",
+                  static_cast<unsigned long long>(result.comm_stats.factor_dense_bytes),
+                  static_cast<unsigned long long>(result.comm_stats.factor_packed_bytes),
+                  static_cast<unsigned long long>(result.comm_stats.factor_encoded_bytes));
+    }
     if (result.comm_stats.wire_sent_bytes > 0) {
       std::printf("wire (rank 0): %llu bytes sent, %llu bytes received\n",
                   static_cast<unsigned long long>(result.comm_stats.wire_sent_bytes),

@@ -8,21 +8,21 @@
 namespace dkfac::comm {
 
 namespace {
-size_t eager_elements_from(size_t capacity_elements, size_t eager_bytes) {
-  size_t eager = eager_bytes == 0 ? capacity_elements / 4
-                                  : eager_bytes / sizeof(float);
+size_t eager_bytes_from(size_t capacity_bytes, size_t eager_bytes) {
+  size_t eager = eager_bytes == 0 ? capacity_bytes / 4 : eager_bytes;
   if (eager < 1) eager = 1;
-  return eager < capacity_elements ? eager : capacity_elements;
+  return eager < capacity_bytes ? eager : capacity_bytes;
 }
 }  // namespace
 
 AsyncExecutor::AsyncExecutor(Communicator& comm, size_t capacity_bytes,
                              size_t eager_bytes)
     : comm_(comm),
-      capacity_elements_(capacity_bytes / sizeof(float)),
-      eager_elements_(eager_elements_from(capacity_elements_, eager_bytes)),
+      capacity_bytes_(capacity_bytes),
+      eager_bytes_(eager_bytes_from(capacity_bytes_, eager_bytes)),
       fusion_(comm, capacity_bytes) {
-  DKFAC_CHECK(capacity_elements_ > 0) << "async executor buffer too small";
+  DKFAC_CHECK(capacity_bytes_ >= sizeof(float))
+      << "async executor buffer too small";
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -35,10 +35,11 @@ AsyncExecutor::~AsyncExecutor() {
   worker_.join();
 }
 
-void AsyncExecutor::submit(std::span<float> view, ReduceOp op) {
+void AsyncExecutor::submit(std::span<float> view, ReduceOp op,
+                           Precision precision) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Item{view, op, /*flush=*/false, ++next_ticket_});
+    queue_.push_back(Item{view, op, precision, /*flush=*/false, ++next_ticket_});
     ++stats_.submitted;
   }
   work_ready_.notify_one();
@@ -48,7 +49,8 @@ void AsyncExecutor::wait() {
   const auto start = Clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const uint64_t ticket = ++next_ticket_;
-  queue_.push_back(Item{{}, ReduceOp::kSum, /*flush=*/true, ticket});
+  queue_.push_back(
+      Item{{}, ReduceOp::kSum, Precision::kFp32, /*flush=*/true, ticket});
   work_ready_.notify_one();
   ticket_done_.wait(lock, [&] { return completed_ticket_ >= ticket; });
   stats_.wait_seconds += seconds_since(start);
@@ -70,7 +72,7 @@ AsyncExecutor::Stats AsyncExecutor::stats() const {
 }
 
 void AsyncExecutor::execute_batch(std::vector<Item>& batch,
-                                  size_t& batch_elements) {
+                                  size_t& batch_bytes) {
   if (batch.empty()) return;
   bool failed = false;
   {
@@ -79,7 +81,7 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
   }
   if (!failed) {
     try {
-      for (const Item& item : batch) fusion_.add(item.view);
+      for (const Item& item : batch) fusion_.add(item.view, item.precision);
       const auto start = Clock::now();
       fusion_.execute(batch.front().op);
       const double elapsed = seconds_since(start);
@@ -97,7 +99,7 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
   }
   ticket_done_.notify_all();
   batch.clear();
-  batch_elements = 0;
+  batch_bytes = 0;
 }
 
 void AsyncExecutor::worker_loop() {
@@ -106,7 +108,7 @@ void AsyncExecutor::worker_loop() {
   // rank cuts identical batches — the cross-rank collective-matching
   // invariant rendezvous communicators depend on.
   std::vector<Item> batch;
-  size_t batch_elements = 0;
+  size_t batch_bytes = 0;
 
   for (;;) {
     Item item;
@@ -119,7 +121,7 @@ void AsyncExecutor::worker_loop() {
     }
 
     if (item.flush) {
-      execute_batch(batch, batch_elements);
+      execute_batch(batch, batch_bytes);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         completed_ticket_ = item.ticket;
@@ -130,22 +132,23 @@ void AsyncExecutor::worker_loop() {
 
     if (!batch.empty() &&
         (item.op != batch.front().op ||
-         batch_elements + item.view.size() > capacity_elements_)) {
-      execute_batch(batch, batch_elements);
+         item.precision != batch.front().precision ||
+         batch_bytes + item.view.size_bytes() > capacity_bytes_)) {
+      execute_batch(batch, batch_bytes);
     }
-    batch_elements += item.view.size();
+    batch_bytes += item.view.size_bytes();
     batch.push_back(item);
     // Launch at the eager threshold: a ready batch sitting in the queue
     // is overlap thrown away.
-    if (batch_elements >= eager_elements_) {
-      execute_batch(batch, batch_elements);
+    if (batch_bytes >= eager_bytes_) {
+      execute_batch(batch, batch_bytes);
     }
   }
 
   // Shutdown with work still batched: finish it so destruction never loses
   // submitted reductions (symmetric across ranks — every peer drains the
   // same tail).
-  execute_batch(batch, batch_elements);
+  execute_batch(batch, batch_bytes);
 }
 
 }  // namespace dkfac::comm

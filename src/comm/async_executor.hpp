@@ -16,8 +16,8 @@
 //        ◀── all tickets complete ──
 //
 // Determinism contract: batch boundaries are a pure function of the
-// submission sequence (eager/capacity thresholds, op change, flush
-// marker) — never of timing — so every rank of an SPMD program that
+// submission sequence (eager/capacity thresholds, op or precision change,
+// flush marker) — never of timing — so every rank of an SPMD program that
 // submits the same sequence issues byte-identical collectives in the
 // same order. Horovod instead negotiates readiness through a coordinator
 // rank; the deterministic rule needs no negotiation traffic and keeps
@@ -77,7 +77,12 @@ class AsyncExecutor {
 
   /// Enqueues one allreduce. The view must stay valid until wait() (or the
   /// destructor) returns. Cheap: no collective runs on the calling thread.
-  void submit(std::span<float> view, ReduceOp op);
+  /// `precision` declares the view's wire format (kFp16/kBf16 for a
+  /// comm::Codec bit-packed payload); like an op change, a precision
+  /// change is a deterministic batch boundary, so each fused collective
+  /// stays uniform.
+  void submit(std::span<float> view, ReduceOp op,
+              Precision precision = Precision::kFp32);
   void submit(Tensor& t, ReduceOp op) { submit(t.span(), op); }
 
   /// Blocks until every prior submission has been reduced and written
@@ -96,6 +101,7 @@ class AsyncExecutor {
   struct Item {
     std::span<float> view;
     ReduceOp op = ReduceOp::kSum;
+    Precision precision = Precision::kFp32;
     bool flush = false;
     uint64_t ticket = 0;
   };
@@ -103,11 +109,14 @@ class AsyncExecutor {
   void worker_loop();
   /// Reduces the accumulated batch (one fused execute) and completes its
   /// tickets. Called only from the worker.
-  void execute_batch(std::vector<Item>& batch, size_t& batch_elements);
+  void execute_batch(std::vector<Item>& batch, size_t& batch_bytes);
 
   Communicator& comm_;
-  const size_t capacity_elements_;
-  const size_t eager_elements_;
+  // Thresholds in bytes of the transport representation — the unit that
+  // stays truthful when fp32 and bit-packed 16-bit payloads share the
+  // queue (an element count would silently mis-chunk mixed widths).
+  const size_t capacity_bytes_;
+  const size_t eager_bytes_;
   FusionBuffer fusion_;  // worker-thread only
 
   mutable std::mutex mutex_;

@@ -1,0 +1,188 @@
+#include "comm/codec.hpp"
+
+#include <bit>
+
+namespace dkfac::comm {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kFp16: return "fp16";
+    case Precision::kBf16: return "bf16";
+  }
+  DKFAC_CHECK(false) << "unknown precision " << static_cast<int>(p);
+  return "?";
+}
+
+Precision parse_precision(const std::string& name) {
+  if (name == "fp32") return Precision::kFp32;
+  if (name == "fp16") return Precision::kFp16;
+  if (name == "bf16") return Precision::kBf16;
+  DKFAC_CHECK(false) << "unknown precision '" << name
+                     << "' (expected fp32, fp16, or bf16)";
+  return Precision::kFp32;
+}
+
+// All four conversions are branchy only on the exceptional classes
+// (NaN/Inf/subnormal); the normal-number path is straight-line integer
+// arithmetic. No float arithmetic is ever performed on the value being
+// converted, so signalling-NaN payloads cannot be quietened in transit and
+// every rank computes byte-identical encodings.
+
+uint16_t Codec::encode_fp16(float value) {
+  const uint32_t x = std::bit_cast<uint32_t>(value);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t mant = x & 0x007FFFFFu;
+  const int32_t exp = static_cast<int32_t>((x >> 23) & 0xFFu);
+
+  if (exp == 0xFF) {
+    if (mant == 0) return static_cast<uint16_t>(sign | 0x7C00u);  // ±Inf
+    // NaN: keep the top 10 payload bits so decode∘encode is the identity on
+    // every FP16 NaN pattern (quiet AND signalling); only when all ten are
+    // zero (a payload living entirely in the low bits) must a quiet bit be
+    // forced to avoid collapsing the NaN into an Inf.
+    const uint32_t payload = mant >> 13;
+    return static_cast<uint16_t>(sign | 0x7C00u | (payload ? payload : 0x200u));
+  }
+
+  const int32_t e = exp - 127 + 15;  // rebias
+  if (e >= 0x1F) return static_cast<uint16_t>(sign | 0x7C00u);  // overflow → Inf
+  if (e <= 0) {
+    // Subnormal (or underflow-to-zero) target. Values below 2^-25 round to
+    // zero; at exactly 2^-25 the tie goes to even (also zero).
+    if (e < -10) return static_cast<uint16_t>(sign);
+    const uint32_t full = mant | 0x00800000u;  // restore the implicit 1
+    const uint32_t shift = static_cast<uint32_t>(14 - e);  // in [14, 24]
+    const uint32_t out = full >> shift;
+    const uint32_t rem = full & ((1u << shift) - 1u);
+    const uint32_t half = 1u << (shift - 1u);
+    const uint32_t up = (rem > half || (rem == half && (out & 1u))) ? 1u : 0u;
+    // A carry out of the subnormal mantissa lands exactly on the smallest
+    // normal (exponent field 1) — the bit layout makes that addition free.
+    return static_cast<uint16_t>(sign | (out + up));
+  }
+
+  uint32_t out = (static_cast<uint32_t>(e) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) {
+    ++out;  // may carry into the exponent; all-ones rounds up to Inf, as RNE requires
+  }
+  return static_cast<uint16_t>(sign | out);
+}
+
+float Codec::decode_fp16(uint16_t bits) {
+  const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+  const uint32_t exp = (bits >> 10) & 0x1Fu;
+  uint32_t mant = bits & 0x3FFu;
+
+  uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // ±0
+    } else {
+      // Subnormal: normalise into an FP32 normal (FP32's range dwarfs
+      // FP16's, so every FP16 subnormal is exactly representable).
+      int32_t shift = 0;
+      while ((mant & 0x400u) == 0) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3FFu;
+      // 0.mant × 2^-14 normalises to 1.m × 2^(-14 - shift).
+      const uint32_t e = static_cast<uint32_t>(127 - 14 - shift);
+      out = sign | (e << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1F) {
+    out = sign | 0x7F800000u | (mant << 13);  // ±Inf / NaN, payload preserved
+  } else {
+    out = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+uint16_t Codec::encode_bf16(float value) {
+  const uint32_t x = std::bit_cast<uint32_t>(value);
+  if ((x & 0x7F800000u) == 0x7F800000u && (x & 0x007FFFFFu) != 0) {
+    // NaN: truncate the payload; force a quiet bit only when the surviving
+    // mantissa would be zero (which would decode as Inf).
+    uint16_t out = static_cast<uint16_t>(x >> 16);
+    if ((out & 0x7Fu) == 0) out |= 0x40u;
+    return out;
+  }
+  // RNE on the low 16 bits: add 0x7FFF plus the LSB of the surviving
+  // mantissa, so exact halves round toward the even result. Overflow
+  // carries cleanly into the exponent (max finite rounds up to Inf).
+  const uint32_t rounded = x + 0x7FFFu + ((x >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+float Codec::decode_bf16(uint16_t bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(bits) << 16);
+}
+
+namespace {
+
+template <uint16_t (*EncodeOne)(float)>
+void encode_buffer(std::span<const float> src, std::span<float> dst) {
+  const size_t n = src.size();
+  const size_t pairs = n / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    const uint32_t lo = EncodeOne(src[2 * i]);
+    const uint32_t hi = EncodeOne(src[2 * i + 1]);
+    dst[i] = std::bit_cast<float>(lo | (hi << 16));
+  }
+  if (n & 1) {
+    dst[pairs] = std::bit_cast<float>(static_cast<uint32_t>(EncodeOne(src[n - 1])));
+  }
+}
+
+template <float (*DecodeOne)(uint16_t)>
+void decode_buffer(std::span<const float> src, std::span<float> dst) {
+  const size_t n = dst.size();
+  const size_t pairs = n / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    const uint32_t word = std::bit_cast<uint32_t>(src[i]);
+    dst[2 * i] = DecodeOne(static_cast<uint16_t>(word & 0xFFFFu));
+    dst[2 * i + 1] = DecodeOne(static_cast<uint16_t>(word >> 16));
+  }
+  if (n & 1) {
+    const uint32_t word = std::bit_cast<uint32_t>(src[pairs]);
+    dst[n - 1] = DecodeOne(static_cast<uint16_t>(word & 0xFFFFu));
+  }
+}
+
+}  // namespace
+
+void Codec::encode(std::span<const float> src, std::span<float> dst,
+                   Precision p) {
+  DKFAC_CHECK(p != Precision::kFp32)
+      << "fp32 payloads bypass the codec (identity passthrough)";
+  DKFAC_CHECK(static_cast<int64_t>(dst.size()) ==
+              encoded_floats(static_cast<int64_t>(src.size())))
+      << "encode buffer mismatch: " << src.size() << " elements need "
+      << encoded_floats(static_cast<int64_t>(src.size()))
+      << " transport floats, got " << dst.size();
+  if (p == Precision::kFp16) {
+    encode_buffer<&Codec::encode_fp16>(src, dst);
+  } else {
+    encode_buffer<&Codec::encode_bf16>(src, dst);
+  }
+}
+
+void Codec::decode(std::span<const float> src, std::span<float> dst,
+                   Precision p) {
+  DKFAC_CHECK(p != Precision::kFp32)
+      << "fp32 payloads bypass the codec (identity passthrough)";
+  DKFAC_CHECK(static_cast<int64_t>(src.size()) ==
+              encoded_floats(static_cast<int64_t>(dst.size())))
+      << "decode buffer mismatch: " << dst.size() << " elements need "
+      << encoded_floats(static_cast<int64_t>(dst.size()))
+      << " transport floats, got " << src.size();
+  if (p == Precision::kFp16) {
+    decode_buffer<&Codec::decode_fp16>(src, dst);
+  } else {
+    decode_buffer<&Codec::decode_bf16>(src, dst);
+  }
+}
+
+}  // namespace dkfac::comm

@@ -1,0 +1,63 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dkfac::comm {
+
+void Communicator::allreduce_encoded(std::span<float> data,
+                                     Precision precision, ReduceOp op) {
+  DKFAC_CHECK(precision != Precision::kFp32)
+      << "fp32 payloads take the lossless allreduce()";
+  const int p = size();
+  if (p == 1 || data.empty()) {
+    stats_.allreduce_calls++;
+    stats_.allreduce_bytes += data.size_bytes();
+    return;
+  }
+
+  // Transport: gather every rank's encoded block through the backend's own
+  // allgather — a pure byte copy on every backend, so the quantised
+  // contributions arrive verbatim. This is an allreduce to the caller, so
+  // the allgather's logical-stat contribution is re-attributed to the
+  // allreduce counters (wire counters are untouched: those bytes really
+  // moved and really were halved by the encoding).
+  const uint64_t gather_calls = stats_.allgather_calls;
+  const uint64_t gather_bytes = stats_.allgather_bytes;
+  const std::vector<float> gathered = allgather(data);
+  stats_.allgather_calls = gather_calls;
+  stats_.allgather_bytes = gather_bytes;
+  stats_.allreduce_calls++;
+  stats_.allreduce_bytes += data.size_bytes();
+  DKFAC_CHECK(gathered.size() == data.size() * static_cast<size_t>(p))
+      << "encoded allreduce length mismatch across ranks";
+
+  // Decode each contribution once and fold in ascending rank order — the
+  // shared fold_contribution/finish_reduce helpers, i.e. the exact fold
+  // ThreadComm::allreduce performs — entirely in fp32. Every rank runs
+  // this identical local computation on identical bytes, so the
+  // re-encoded result is identical everywhere. Padding elements decode to
+  // +0.0, fold to 0 (or stay 0 under max against themselves), and
+  // re-encode to zero bits: stable, and never read back by the caller.
+  const size_t elements = 2 * data.size();  // includes any pad slot
+  encoded_fold_result_.resize(elements);
+  encoded_fold_scratch_.resize(elements);
+  const std::span<float> result(encoded_fold_result_);
+  const std::span<float> contribution(encoded_fold_scratch_);
+  for (int r = 0; r < p; ++r) {
+    const std::span<const float> block(gathered.data() +
+                                           static_cast<size_t>(r) * data.size(),
+                                       data.size());
+    if (r == 0) {
+      Codec::decode(block, result, precision);
+      continue;
+    }
+    Codec::decode(block, contribution, precision);
+    fold_contribution(result, contribution, op);
+  }
+  finish_reduce(result, op, p);
+  Codec::encode(result, data, precision);
+}
+
+}  // namespace dkfac::comm

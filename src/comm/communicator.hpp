@@ -11,10 +11,12 @@
 // results are bitwise identical across backends.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "comm/cost_model.hpp"
 #include "tensor/tensor.hpp"
 
@@ -26,6 +28,31 @@ enum class ReduceOp {
   kAverage,  // sum / size — what gradient and factor exchange use
   kMax,
 };
+
+// The ONE elementwise fold every allreduce implementation shares. The
+// cross-backend bitwise-parity contract says thread, socket, and encoded
+// reductions all combine contributions in ascending rank order with
+// identical arithmetic; routing them through these two helpers makes that
+// parity structural instead of three hand-kept copies.
+
+/// Accumulates rank r's contribution `src` into the running fold `result`.
+inline void fold_contribution(std::span<float> result,
+                              std::span<const float> src, ReduceOp op) {
+  if (op == ReduceOp::kMax) {
+    for (size_t i = 0; i < result.size(); ++i) {
+      result[i] = std::max(result[i], src[i]);
+    }
+  } else {
+    for (size_t i = 0; i < result.size(); ++i) result[i] += src[i];
+  }
+}
+
+/// Final step of a completed fold: the kAverage 1/p scale (no-op otherwise).
+inline void finish_reduce(std::span<float> result, ReduceOp op, int ranks) {
+  if (op != ReduceOp::kAverage) return;
+  const float inv = 1.0f / static_cast<float>(ranks);
+  for (float& v : result) v *= inv;
+}
 
 /// Background-pipeline counters. Shared by AsyncExecutor::stats() and
 /// CommStats so the derived "overlap won" metric has a single definition.
@@ -66,12 +93,17 @@ struct CommStats {
   uint64_t wire_sent_bytes = 0;
   uint64_t wire_recv_bytes = 0;
 
-  // Kronecker-factor exchange accounting (filled by KfacPreconditioner):
-  // the bytes a dense n×n factor allreduce would have shipped vs the bytes
-  // actually shipped (upper-triangle packed when symmetric_comm is on).
-  // factor_packed_bytes is already included in allreduce_bytes.
+  // Kronecker-factor exchange accounting (filled by KfacPreconditioner) —
+  // the full reduction chain dense → packed → encoded: the bytes a dense
+  // n×n FP32 factor allreduce would have shipped, the bytes after
+  // structural packing (upper triangles when symmetric_comm is on), and
+  // the bytes that actually entered the collective after the precision
+  // codec (16-bit payloads when factor_precision is fp16/bf16; equal to
+  // packed at fp32). factor_encoded_bytes is already included in
+  // allreduce_bytes, so dense − encoded is the total reduction won.
   uint64_t factor_dense_bytes = 0;
   uint64_t factor_packed_bytes = 0;
+  uint64_t factor_encoded_bytes = 0;
 
   // Decomposition-allgather accounting: the bytes this rank's dense
   // decomposition send would take vs the bytes it actually sent
@@ -109,6 +141,29 @@ class Communicator {
 
   virtual void barrier() = 0;
 
+  /// Allreduce over a codec-encoded (fp16/bf16) payload: `data` holds
+  /// 16-bit elements bit-packed two per float (comm::Codec's transport
+  /// layout). Semantics are "encode once, reduce in fp32": every rank's
+  /// encoded contribution is gathered verbatim (byte-exact transport),
+  /// decoded to fp32, folded in rank order — the same fold as
+  /// allreduce() — and the identical result is re-encoded on every rank.
+  /// One definition over the virtual allgather serves every backend, so
+  /// thread and socket runs stay bitwise identical to each other at any
+  /// precision. Counted in allreduce_calls/bytes (at the encoded size),
+  /// like the lossless collective it replaces.
+  ///
+  /// Scaling trade-off: encode-once forbids re-quantising partial sums,
+  /// so the transport is an allgather of contributions — O((p−1)·n/2)
+  /// wire bytes per rank versus a bandwidth-optimal ring allreduce's
+  /// ~2·n·(p−1)/p of the fp32 payload. Against SocketComm's rank-order-
+  /// preserving algorithms the encoded path ships half the bytes of the
+  /// circulating allreduce at every p and beats the pipelined ring up to
+  /// p ≈ 4; beyond that the gather term dominates and fp32 can be
+  /// cheaper on the wire. Compression is aimed at the small-world /
+  /// latency-bound factor exchanges the paper targets, not at large p.
+  void allreduce_encoded(std::span<float> data, Precision precision,
+                         ReduceOp op);
+
   /// The α–β model of this backend's fabric. Everything tuned above the
   /// collectives — AsyncExecutor's eager threshold, fusion-buffer
   /// capacities, SocketComm's per-size algorithm choice — derives from
@@ -121,11 +176,19 @@ class Communicator {
   const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  /// Records one factor exchange: `dense_bytes` is the full n×n payload,
-  /// `actual_bytes` what was really shipped (equal when packing is off).
-  void record_factor_volume(uint64_t dense_bytes, uint64_t actual_bytes) {
+  /// Records one factor exchange along the full reduction chain:
+  /// `dense_bytes` is the dense n×n FP32 payload, `packed_bytes` the
+  /// payload after structural packing (equal to dense when packing is
+  /// off), `encoded_bytes` what actually entered the collective after the
+  /// precision codec (equal to packed at fp32).
+  void record_factor_volume(uint64_t dense_bytes, uint64_t packed_bytes,
+                            uint64_t encoded_bytes) {
     stats_.factor_dense_bytes += dense_bytes;
-    stats_.factor_packed_bytes += actual_bytes;
+    stats_.factor_packed_bytes += packed_bytes;
+    stats_.factor_encoded_bytes += encoded_bytes;
+  }
+  void record_factor_volume(uint64_t dense_bytes, uint64_t packed_bytes) {
+    record_factor_volume(dense_bytes, packed_bytes, packed_bytes);
   }
 
   /// Records one decomposition allgather: `dense_bytes` is the dense
@@ -143,6 +206,16 @@ class Communicator {
 
  protected:
   CommStats stats_;
+
+ private:
+  // allreduce_encoded's fp32 fold scratch, reused across calls — the
+  // encoded reduction runs once per fused chunk, and reallocating two
+  // chunk-sized buffers there would put megabyte mallocs on the comm
+  // worker's hot path (ThreadComm keeps reduce_scratch_ for the same
+  // reason). Collectives are single-caller per communicator (see the
+  // AsyncExecutor threading contract), so plain members are safe.
+  std::vector<float> encoded_fold_result_;
+  std::vector<float> encoded_fold_scratch_;
 };
 
 /// Size-1 communicator: every collective is a no-op (single-process runs).

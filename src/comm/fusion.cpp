@@ -6,15 +6,22 @@
 
 namespace dkfac::comm {
 
+namespace {
+// The staging buffer is float-typed because every payload — lossless or
+// Codec bit-packed — travels as transport floats. This is the ONE place
+// that width appears; all capacity math below stays in bytes.
+constexpr size_t kTransportBytes = sizeof(float);
+}  // namespace
+
 FusionBuffer::FusionBuffer(Communicator& comm, size_t capacity_bytes)
-    : comm_(comm), capacity_elements_(capacity_bytes / sizeof(float)) {
-  DKFAC_CHECK(capacity_elements_ > 0) << "fusion buffer too small";
+    : comm_(comm), capacity_bytes_(capacity_bytes) {
+  DKFAC_CHECK(capacity_bytes_ >= kTransportBytes) << "fusion buffer too small";
 }
 
-void FusionBuffer::add(std::span<float> view) {
+void FusionBuffer::add(std::span<float> view, Precision precision) {
   // Zero-length views carry no payload; registering them would only issue
   // empty collectives.
-  if (!view.empty()) views_.push_back(view);
+  if (!view.empty()) views_.push_back({view, precision});
 }
 
 void FusionBuffer::execute(ReduceOp op) {
@@ -22,16 +29,24 @@ void FusionBuffer::execute(ReduceOp op) {
   // mid-chunk: leaving stale views (and their dangling spans) behind would
   // corrupt the next execute() after a failed step.
   struct ClearOnExit {
-    std::vector<std::span<float>>& views;
+    std::vector<View>& views;
     ~ClearOnExit() { views.clear(); }
   } guard{views_};
 
   last_chunk_count_ = 0;
   size_t view_index = 0;
   size_t offset_in_view = 0;  // resume point for views larger than a chunk
+  // Whole transport floats per chunk (floor): a trailing sub-element byte
+  // budget can never be packed, so counting it as capacity would leave
+  // room > 0 with take == 0 forever — an infinite packing loop.
+  const size_t capacity_floats = capacity_bytes_ / kTransportBytes;
 
   while (view_index < views_.size()) {
-    // Pack up to capacity_elements_ into the staging buffer.
+    // Pack up to capacity_floats into the staging buffer. A chunk holds
+    // views of ONE precision: encoded and lossless payloads reduce through
+    // different collectives, so a precision change ends the chunk exactly
+    // like running out of room does.
+    const Precision chunk_precision = views_[view_index].precision;
     staging_.clear();
     struct Placement {
       size_t view;
@@ -40,9 +55,11 @@ void FusionBuffer::execute(ReduceOp op) {
       size_t count;
     };
     std::vector<Placement> placements;
-    while (view_index < views_.size() && staging_.size() < capacity_elements_) {
-      const std::span<float> view = views_[view_index];
-      const size_t room = capacity_elements_ - staging_.size();
+    while (view_index < views_.size() &&
+           views_[view_index].precision == chunk_precision &&
+           staging_.size() < capacity_floats) {
+      const std::span<float> view = views_[view_index].data;
+      const size_t room = capacity_floats - staging_.size();
       const size_t take = std::min(room, view.size() - offset_in_view);
       placements.push_back({view_index, offset_in_view, staging_.size(), take});
       staging_.insert(staging_.end(), view.begin() + static_cast<ptrdiff_t>(offset_in_view),
@@ -54,13 +71,20 @@ void FusionBuffer::execute(ReduceOp op) {
       }
     }
 
-    comm_.allreduce(staging_, op);
+    if (chunk_precision == Precision::kFp32) {
+      comm_.allreduce(staging_, op);
+    } else {
+      // Chunk boundaries sit on transport-float edges — two encoded
+      // elements — and the encoded reduction is elementwise, so splitting
+      // a payload across chunks changes nothing about the result.
+      comm_.allreduce_encoded(staging_, chunk_precision, op);
+    }
     ++last_chunk_count_;
 
     for (const Placement& p : placements) {
       std::copy(staging_.begin() + static_cast<ptrdiff_t>(p.staging_offset),
                 staging_.begin() + static_cast<ptrdiff_t>(p.staging_offset + p.count),
-                views_[p.view].begin() + static_cast<ptrdiff_t>(p.view_offset));
+                views_[p.view].data.begin() + static_cast<ptrdiff_t>(p.view_offset));
     }
   }
 }

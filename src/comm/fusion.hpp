@@ -4,6 +4,16 @@
 // each allreduce so every collective stays bandwidth-dominated. This
 // helper gives dkfac the same behaviour: register any number of tensor
 // views, then execute one chunked allreduce over them.
+//
+// Views may be lossless fp32 payloads or comm::Codec bit-packed fp16/bf16
+// payloads (two 16-bit elements per transport float). All capacity and
+// chunk accounting is done in BYTES of the transport representation — the
+// one unit that stays truthful across element widths — so a half-width
+// encoded payload fills exactly half the chunk budget and mixed-width
+// registration sequences can never mis-chunk. Each issued collective is
+// uniform in precision: a precision change forces a chunk boundary, since
+// encoded and lossless payloads take different reduction paths
+// (allreduce_encoded vs allreduce).
 #pragma once
 
 #include <cstdint>
@@ -20,8 +30,10 @@ class FusionBuffer {
   explicit FusionBuffer(Communicator& comm, size_t capacity_bytes = 32 << 20);
 
   /// Registers a tensor view for the next allreduce. Views must stay valid
-  /// until execute() returns.
-  void add(std::span<float> view);
+  /// until execute() returns. `precision` declares the view's wire format:
+  /// kFp32 for plain float data, kFp16/kBf16 for a Codec bit-packed
+  /// payload (reduced via the encode-once-fold-in-fp32 collective).
+  void add(std::span<float> view, Precision precision = Precision::kFp32);
   void add(Tensor& tensor) { add(tensor.span()); }
 
   /// Allreduces every registered view, packing them into buffer-sized
@@ -35,14 +47,19 @@ class FusionBuffer {
   void release_staging();
 
   size_t pending_views() const { return views_.size(); }
-  size_t capacity_elements() const { return capacity_elements_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
   /// Collectives issued by the last execute() — the fusion ratio.
   size_t last_chunk_count() const { return last_chunk_count_; }
 
  private:
+  struct View {
+    std::span<float> data;
+    Precision precision = Precision::kFp32;
+  };
+
   Communicator& comm_;
-  size_t capacity_elements_;
-  std::vector<std::span<float>> views_;
+  size_t capacity_bytes_;
+  std::vector<View> views_;
   std::vector<float> staging_;
   size_t last_chunk_count_ = 0;
 };

@@ -172,21 +172,18 @@ void SocketComm::ring_circulation_allreduce(std::span<float> data, ReduceOp op) 
                 recv_buf_.size());
   }
 
-  // Rank-order fold (ThreadComm::allreduce's loop, verbatim semantics).
+  // Rank-order fold — the shared helpers ThreadComm's allreduce uses, so
+  // cross-backend bitwise parity is structural.
   std::copy(circ_blocks_.begin(), circ_blocks_.begin() + static_cast<ptrdiff_t>(n),
             data.begin());
   for (int r = 1; r < p; ++r) {
-    const float* src = circ_blocks_.data() + static_cast<size_t>(r) * n;
-    if (op == ReduceOp::kMax) {
-      for (size_t i = 0; i < n; ++i) data[i] = std::max(data[i], src[i]);
-    } else {
-      for (size_t i = 0; i < n; ++i) data[i] += src[i];
-    }
+    fold_contribution(
+        data,
+        std::span<const float>(circ_blocks_.data() + static_cast<size_t>(r) * n,
+                               n),
+        op);
   }
-  if (op == ReduceOp::kAverage) {
-    const float inv = 1.0f / static_cast<float>(p);
-    for (float& v : data) v *= inv;
-  }
+  finish_reduce(data, op, p);
 }
 
 void SocketComm::pipelined_ring_allreduce(std::span<float> data, ReduceOp op) {
@@ -216,20 +213,13 @@ void SocketComm::pipelined_ring_allreduce(std::span<float> data, ReduceOp op) {
       chain_scratch_.resize(own.size());
       const std::span<float> partial(chain_scratch_.data(), own.size());
       recv_from(rank_ - 1, FrameType::kData, partial);
-      if (op == ReduceOp::kMax) {
-        for (size_t i = 0; i < own.size(); ++i) {
-          partial[i] = std::max(partial[i], own[i]);
-        }
-      } else {
-        for (size_t i = 0; i < own.size(); ++i) partial[i] += own[i];
-      }
+      // The incoming partial already folds ranks 0..rank-1 in order;
+      // appending this rank keeps the shared fold's rank-order semantics.
+      fold_contribution(partial, own, op);
       if (rank_ < p - 1) {
         send_to(rank_ + 1, FrameType::kData, partial);
       } else {
-        if (op == ReduceOp::kAverage) {
-          const float inv = 1.0f / static_cast<float>(p);
-          for (float& v : partial) v *= inv;
-        }
+        finish_reduce(partial, op, p);
         std::copy(partial.begin(), partial.end(), own.begin());
       }
     }

@@ -22,7 +22,9 @@ void ThreadComm::allreduce(std::span<float> data, ReduceOp op) {
   st.barrier.arrive_and_wait();
 
   // Rank 0's contribution seeds the scratch, so no zero-fill pass is needed
-  // and the buffer can be reused allocation-free across calls.
+  // and the buffer can be reused allocation-free across calls. The fold
+  // itself is the shared fold_contribution/finish_reduce — the definition
+  // every backend (and the encoded collective) must match bit for bit.
   reduce_scratch_.resize(data.size());
   std::vector<float>& result = reduce_scratch_;
   for (int r = 0; r < st.size; ++r) {
@@ -32,18 +34,11 @@ void ThreadComm::allreduce(std::span<float> data, ReduceOp op) {
         << " elements, rank " << rank_ << " sent " << data.size();
     if (r == 0) {
       std::copy(src.begin(), src.end(), result.begin());
-    } else if (op == ReduceOp::kMax) {
-      for (size_t i = 0; i < data.size(); ++i) {
-        result[i] = std::max(result[i], src[i]);
-      }
     } else {
-      for (size_t i = 0; i < data.size(); ++i) result[i] += src[i];
+      fold_contribution(result, src, op);
     }
   }
-  if (op == ReduceOp::kAverage) {
-    const float inv = 1.0f / static_cast<float>(st.size);
-    for (float& v : result) v *= inv;
-  }
+  finish_reduce(result, op, st.size);
 
   // All ranks finished reading every slot before anyone overwrites `data`.
   st.barrier.arrive_and_wait();

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "common/error.hpp"
 
 namespace dkfac::kfac {
@@ -74,6 +75,20 @@ struct KfacOptions {
   /// mirrors the triangle, so factors also stay exactly symmetric.
   bool symmetric_comm = true;
 
+  /// Wire precision of the factor exchange and decomposition allgather
+  /// (lossy-compression extension, the paper's §VII future work): fp16 or
+  /// bf16 payloads halve the bytes SymmetricPacker/rank-truncation leave,
+  /// at the cost of quantising each rank's contribution once before the
+  /// fp32 rank-order reduction (comm::Codec's encode-once contract). fp32
+  /// (default) is a zero-cost identity passthrough. Thread and socket
+  /// backends remain bitwise identical to each other at every setting;
+  /// only the fp32-vs-compressed comparison is approximate. Note the
+  /// encoded allreduce transports contributions (allgather-style) to keep
+  /// the encode-once contract, so its wire advantage holds for small
+  /// worlds (p ≲ 4) and shrinking decomposition allgathers at any p —
+  /// see Communicator::allreduce_encoded for the cost analysis.
+  comm::Precision factor_precision = comm::Precision::kFp32;
+
   /// Fusion-buffer capacity for the factor allreduce, in bytes.
   /// 0 (default) derives the capacity from comm::CostModel so each chunk
   /// stays bandwidth-dominated at the current world size.
@@ -106,7 +121,11 @@ struct KfacOptions {
     DKFAC_CHECK(fusion_capacity_bytes == 0 ||
                 fusion_capacity_bytes >= sizeof(float))
         << "fusion_capacity_bytes must be 0 (cost-model derived) or hold at "
-           "least one element";
+           "least one transport element";
+    DKFAC_CHECK(factor_precision == comm::Precision::kFp32 ||
+                factor_precision == comm::Precision::kFp16 ||
+                factor_precision == comm::Precision::kBf16)
+        << "factor_precision must be fp32, fp16, or bf16";
     DKFAC_CHECK(inv_update_freq % factor_update_freq == 0)
         << "eigendecomposition interval (" << inv_update_freq
         << ") must be a multiple of the factor interval (" << factor_update_freq

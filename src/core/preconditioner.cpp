@@ -147,23 +147,80 @@ void KfacPreconditioner::update_factors() {
 
   // Allreduce all factors — Algorithm 1 line 8. With symmetric_comm only
   // the upper triangle of each factor is shipped (n(n+1)/2 of n²
-  // elements). With an attached executor and overlap_comm, views are
-  // submitted to the background pipeline instead of reduced in place:
-  // the exchange overlaps the preconditioning GEMMs and the next
-  // iteration's compute, and finish_factor_comm() folds it in right
-  // before the next consumer.
+  // elements); with a lossy factor_precision the payload is additionally
+  // codec-encoded to 16-bit before it enters the pipeline (quantised ONCE
+  // on this rank; the collective gathers contributions verbatim and folds
+  // in fp32 — see Communicator::allreduce_encoded). With an attached
+  // executor and overlap_comm, views are submitted to the background
+  // pipeline instead of reduced in place: the exchange overlaps the
+  // preconditioning GEMMs and the next iteration's compute, and
+  // finish_factor_comm() decodes/folds it in right before the next
+  // consumer.
   uint64_t dense_bytes = 0;
   for (int64_t d : factor_dims_) {
     dense_bytes += static_cast<uint64_t>(d * d) * sizeof(float);
   }
   const bool async = executor_ != nullptr && options_.overlap_comm;
+  const comm::Precision prec = options_.factor_precision;
+  const int64_t num_factors = static_cast<int64_t>(factor_dims_.size());
 
-  if (options_.symmetric_comm) {
-    int64_t payload = 0;
-    for (int64_t d : factor_dims_) payload += comm::SymmetricPacker::packed_size(d);
-    packed_.resize(static_cast<size_t>(payload));
+  int64_t packed_elements = 0;
+  for (int64_t f = 0; f < num_factors; ++f) {
+    packed_elements += factor_payload_elements(f);
+  }
+  const uint64_t packed_bytes =
+      static_cast<uint64_t>(packed_elements) * sizeof(float);
+
+  if (prec != comm::Precision::kFp32) {
+    // Lossy path (packed or dense source): stage the fp32 payload, encode
+    // it into the 16-bit transport buffer, and reduce THAT. Per-factor
+    // views pipeline each encoding behind the previous factor's reduction.
+    int64_t encoded_total = 0;
+    uint64_t shipped_bytes = 0;
+    for (int64_t f = 0; f < num_factors; ++f) {
+      encoded_total += comm::Codec::encoded_floats(factor_payload_elements(f));
+      shipped_bytes += comm::Codec::wire_bytes(factor_payload_elements(f), prec);
+    }
+    encoded_.resize(static_cast<size_t>(encoded_total));
+    if (options_.symmetric_comm) {
+      packed_.resize(static_cast<size_t>(packed_elements));
+    }
+    int64_t packed_offset = 0;
+    int64_t encoded_offset = 0;
+    for (int64_t f = 0; f < num_factors; ++f) {
+      const int64_t count = factor_payload_elements(f);
+      std::span<const float> source;
+      if (options_.symmetric_comm) {
+        const std::span<float> triangle(packed_.data() + packed_offset,
+                                        static_cast<size_t>(count));
+        comm::SymmetricPacker::pack(factor(f).cov, triangle);
+        source = triangle;
+        packed_offset += count;
+      } else {
+        source = factor(f).cov.span();
+      }
+      const std::span<float> view(
+          encoded_.data() + encoded_offset,
+          static_cast<size_t>(comm::Codec::encoded_floats(count)));
+      comm::Codec::encode(source, view, prec);
+      if (async) {
+        executor_->submit(view, comm::ReduceOp::kAverage, prec);
+      } else {
+        fusion_.add(view, prec);
+      }
+      encoded_offset += comm::Codec::encoded_floats(count);
+    }
+    if (async) {
+      factor_comm_pending_ = true;
+    } else {
+      fusion_.execute(comm::ReduceOp::kAverage);
+      finish_factor_comm();  // shares the decode + unpack + release path
+    }
+    report_.factor_comm_bytes = shipped_bytes;
+  } else if (options_.symmetric_comm) {
+    packed_.resize(static_cast<size_t>(packed_elements));
     int64_t offset = 0;
-    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    for (int64_t f = 0; f < num_factors; ++f) {
       const Tensor& cov = factor(f).cov;
       const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
       const std::span<float> view(packed_.data() + offset,
@@ -184,11 +241,11 @@ void KfacPreconditioner::update_factors() {
       fusion_.execute(comm::ReduceOp::kAverage);
       finish_factor_comm();  // shares the unpack + release path
     }
-    report_.factor_comm_bytes = static_cast<uint64_t>(payload) * sizeof(float);
+    report_.factor_comm_bytes = packed_bytes;
   } else {
-    // Dense path: each factor's storage is reduced in place, so no
+    // Dense fp32 path: each factor's storage is reduced in place, so no
     // monolithic copy of all factors is ever materialised.
-    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    for (int64_t f = 0; f < num_factors; ++f) {
       if (async) {
         executor_->submit(factor(f).cov.span(), comm::ReduceOp::kAverage);
       } else {
@@ -205,9 +262,17 @@ void KfacPreconditioner::update_factors() {
   }
 
   report_.factor_dense_bytes = dense_bytes;
+  report_.factor_packed_bytes = packed_bytes;
   report_.factor_chunks = async ? 0 : fusion_.last_chunk_count();
   report_.factor_comm_async = async;
-  comm_.record_factor_volume(dense_bytes, report_.factor_comm_bytes);
+  comm_.record_factor_volume(dense_bytes, packed_bytes,
+                             report_.factor_comm_bytes);
+}
+
+int64_t KfacPreconditioner::factor_payload_elements(int64_t f) const {
+  const int64_t d = factor_dims_[static_cast<size_t>(f)];
+  return options_.symmetric_comm ? comm::SymmetricPacker::packed_size(d)
+                                 : d * d;
 }
 
 void KfacPreconditioner::finish_factor_comm() {
@@ -217,26 +282,59 @@ void KfacPreconditioner::finish_factor_comm() {
     executor_->wait();
     factor_comm_pending_ = false;
   }
-  if (packed_.empty()) return;
-  // Mirror the reduced triangles back into the covariance tensors (the
-  // dense path reduced them in place, so packed_ stays empty there).
-  int64_t offset = 0;
-  for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-    Tensor& cov = factor(f).cov;
-    const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
-    comm::SymmetricPacker::unpack(
-        std::span<const float>(packed_.data() + offset,
-                               static_cast<size_t>(count)),
-        cov);
-    offset += count;
+  if (!encoded_.empty()) {
+    // Fold-in of a lossy exchange: decode the reduced 16-bit payloads back
+    // to fp32, then mirror triangles into the covariances (or copy dense
+    // payloads straight in). Every rank decodes identical bytes, so the
+    // covariances stay identical across ranks and backends.
+    const comm::Precision prec = options_.factor_precision;
+    int64_t packed_offset = 0;
+    int64_t encoded_offset = 0;
+    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+      Tensor& cov = factor(f).cov;
+      const int64_t count = factor_payload_elements(f);
+      const std::span<const float> view(
+          encoded_.data() + encoded_offset,
+          static_cast<size_t>(comm::Codec::encoded_floats(count)));
+      if (options_.symmetric_comm) {
+        // packed_ still holds this step's pre-reduce triangles; reuse it
+        // as the decode destination (same size, no extra allocation).
+        const std::span<float> triangle(packed_.data() + packed_offset,
+                                        static_cast<size_t>(count));
+        comm::Codec::decode(view, triangle, prec);
+        comm::SymmetricPacker::unpack(triangle, cov);
+        packed_offset += count;
+      } else {
+        comm::Codec::decode(view, cov.span(), prec);
+      }
+      encoded_offset += comm::Codec::encoded_floats(count);
+    }
+    encoded_.clear();
+    packed_.clear();
+  } else if (!packed_.empty()) {
+    // Mirror the reduced triangles back into the covariance tensors (the
+    // dense fp32 path reduced them in place, so packed_ stays empty there).
+    int64_t offset = 0;
+    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+      Tensor& cov = factor(f).cov;
+      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
+      comm::SymmetricPacker::unpack(
+          std::span<const float>(packed_.data() + offset,
+                                 static_cast<size_t>(count)),
+          cov);
+      offset += count;
+    }
+    packed_.clear();
+  } else {
+    return;
   }
-  packed_.clear();
   // Release the staging allocations only on skip-heavy schedules, where
   // the next exchange is iterations away and holding the peak payload is
   // waste; at factor_update_freq == 1 the buffers are reused next step
   // and freeing them would put a malloc on the hot path.
   if (options_.factor_update_freq > 1) {
     packed_.shrink_to_fit();
+    encoded_.shrink_to_fit();
     fusion_.release_staging();
   }
 }
@@ -377,16 +475,66 @@ void KfacPreconditioner::exchange_decompositions() {
     }
   }
 
-  const std::vector<float> gathered = comm_.allgather(send);
+  const comm::Precision prec = options_.factor_precision;
+  std::vector<float> gathered;
+  const uint64_t shipped_send_bytes =
+      comm::Codec::wire_bytes(static_cast<int64_t>(send.size()), prec);
+  if (prec == comm::Precision::kFp32) {
+    gathered = comm_.allgather(send);
+  } else {
+    // Lossy precision: this rank's payload is quantised once, the encoded
+    // blocks are gathered verbatim, and every rank decodes every block —
+    // its own included, so owners adopt the exact bytes their peers see
+    // and the replicas never diverge. The decoded buffer reproduces the
+    // fp32 layout, so the unpack loop below is precision-agnostic.
+    std::vector<float> encoded_send(static_cast<size_t>(
+        comm::Codec::encoded_floats(static_cast<int64_t>(send.size()))));
+    comm::Codec::encode(send, encoded_send, prec);
+    const std::vector<float> encoded_gathered = comm_.allgather(encoded_send);
+    // Per-rank element counts are a pure function of the assignment; size
+    // the decoded buffer once instead of reallocating per rank.
+    std::vector<int64_t> rank_elements(static_cast<size_t>(comm_.size()), 0);
+    int64_t total_elements = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      for (int64_t f : assignment_.owned_by(r)) {
+        rank_elements[static_cast<size_t>(r)] +=
+            shipped_decomp_payload(factor(f).dim);
+      }
+      total_elements += rank_elements[static_cast<size_t>(r)];
+    }
+    gathered.resize(static_cast<size_t>(total_elements));
+    size_t encoded_offset = 0;
+    size_t decoded_offset = 0;
+    for (int r = 0; r < comm_.size(); ++r) {
+      const int64_t elements = rank_elements[static_cast<size_t>(r)];
+      const auto encoded_count =
+          static_cast<size_t>(comm::Codec::encoded_floats(elements));
+      DKFAC_CHECK(encoded_offset + encoded_count <= encoded_gathered.size())
+          << "encoded decomposition gather underflow";
+      comm::Codec::decode(
+          std::span<const float>(encoded_gathered.data() + encoded_offset,
+                                 encoded_count),
+          std::span<float>(gathered.data() + decoded_offset,
+                           static_cast<size_t>(elements)),
+          prec);
+      encoded_offset += encoded_count;
+      decoded_offset += static_cast<size_t>(elements);
+    }
+    DKFAC_CHECK(encoded_offset == encoded_gathered.size())
+        << "encoded decomposition gather leftover";
+  }
 
   // Unpack rank by rank; each rank's segment holds its owned factors in
   // ascending order, so the layout is fully determined by the assignment.
+  // At fp32 this rank's own segment is skipped (it already holds the exact
+  // decomposition it sent); at a lossy precision it is unpacked like any
+  // other so all ranks hold the identical quantised decomposition.
   size_t offset = 0;
   for (int r = 0; r < comm_.size(); ++r) {
     for (int64_t f : assignment_.owned_by(r)) {
       FactorState& state = factor(f);
       const int64_t d = state.dim;
-      if (r == rank) {
+      if (r == rank && prec == comm::Precision::kFp32) {
         offset += static_cast<size_t>(shipped_decomp_payload(d));
         continue;  // already have our own
       }
@@ -424,17 +572,15 @@ void KfacPreconditioner::exchange_decompositions() {
   DKFAC_CHECK(offset == gathered.size()) << "decomposition gather leftover";
 
   // Dense-equivalent vs actually-shipped bytes for this rank's send — the
-  // same per-rank convention allgather_bytes uses, so the packed bytes
-  // really are a subset of that counter.
+  // same per-rank convention allgather_bytes uses, so the shipped bytes
+  // (triangle-packed, then codec-encoded at a lossy precision) really are
+  // a subset of that counter.
   uint64_t dense_sent = 0;
-  uint64_t shipped_sent = 0;
   for (int64_t f : assignment_.owned_by(rank)) {
     const int64_t d = factor(f).dim;
     dense_sent += static_cast<uint64_t>(decomp_payload(d)) * sizeof(float);
-    shipped_sent +=
-        static_cast<uint64_t>(shipped_decomp_payload(d)) * sizeof(float);
   }
-  comm_.record_decomp_volume(dense_sent, shipped_sent);
+  comm_.record_decomp_volume(dense_sent, shipped_send_bytes);
 }
 
 Tensor KfacPreconditioner::precondition_layer(const LayerState& state,

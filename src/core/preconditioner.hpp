@@ -90,10 +90,14 @@ class KfacPreconditioner {
     double factor_seconds = 0.0;
     double decomposition_seconds = 0.0;
     double precondition_seconds = 0.0;
-    /// Bytes a dense n×n factor allreduce would ship this step (0 on skip
-    /// iterations) and the bytes actually shipped (triangle-packed when
-    /// `symmetric_comm` is on, else equal to dense).
+    /// Factor-exchange reduction chain for this step (0 on skip
+    /// iterations): bytes a dense n×n FP32 allreduce would ship, bytes
+    /// after structural packing (triangles when `symmetric_comm` is on,
+    /// else dense), and bytes actually handed to the collective after the
+    /// precision codec (16-bit payloads at fp16/bf16, else equal to
+    /// packed).
     uint64_t factor_dense_bytes = 0;
+    uint64_t factor_packed_bytes = 0;
     uint64_t factor_comm_bytes = 0;
     /// Collectives the fused factor allreduce was split into (0 when the
     /// exchange ran asynchronously — the executor owns the batching).
@@ -129,9 +133,13 @@ class KfacPreconditioner {
 
   void update_factors();
   /// Completes an in-flight asynchronous factor exchange: waits on the
-  /// executor and mirrors the packed triangles back into the covariance
-  /// tensors. No-op when nothing is pending.
+  /// executor, decodes any lossy payload, and mirrors the packed triangles
+  /// back into the covariance tensors. No-op when nothing is pending.
   void finish_factor_comm();
+  /// FP32 elements factor `f` contributes to the exchange before the
+  /// precision codec: its packed triangle with symmetric_comm, the dense
+  /// matrix otherwise.
+  int64_t factor_payload_elements(int64_t f) const;
   void update_decompositions();
   void decompose_factor(FactorState& state) const;
   /// trace(cov)/dim, floored away from zero (π-damping input).
@@ -161,11 +169,15 @@ class KfacPreconditioner {
   /// Overlapped-communication pipeline (owned by the trainer); nullptr →
   /// synchronous exchange.
   comm::AsyncExecutor* executor_ = nullptr;
-  /// Staging area for triangle-packed factor payloads. Released after each
-  /// exchange completes so skip-heavy schedules don't pin peak memory.
+  /// Staging area for triangle-packed FP32 factor payloads. Released after
+  /// each exchange completes so skip-heavy schedules don't pin peak memory.
   std::vector<float> packed_;
-  /// An asynchronous factor exchange is in flight (packed_ holds the
-  /// payload views the executor is still reducing).
+  /// Codec bit-packed 16-bit transport payloads when factor_precision is
+  /// lossy — the views the collective actually reduces ("encode once" on
+  /// this rank, decoded on fold-in). Empty at fp32.
+  std::vector<float> encoded_;
+  /// An asynchronous factor exchange is in flight (packed_ or encoded_
+  /// holds the payload views the executor is still reducing).
   bool factor_comm_pending_ = false;
   std::vector<LayerState> layers_;
   std::vector<int64_t> factor_dims_;

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <thread>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "comm/fusion.hpp"
 #include "comm/thread_comm.hpp"
 #include "common/error.hpp"
@@ -101,6 +103,78 @@ TEST(AsyncExecutor, MatchesSynchronousFusedAllreduceBitwise) {
       for (size_t t = 0; t < kTensors; ++t) {
         for (size_t i = 0; i < kElems; ++i) {
           EXPECT_EQ(tensors[t][i], sync_result[t][i]) << "t=" << t << " i=" << i;
+        }
+      }
+    }
+  });
+}
+
+TEST(AsyncExecutor, MixedPrecisionSubmissionsMatchSyncFusionBitwise) {
+  // The overlap pipeline interleaves fp32 gradient views with codec-encoded
+  // factor views (the compressed K-FAC pattern). Precision changes must cut
+  // deterministic batch boundaries and the result must match the
+  // synchronous FusionBuffer path bit for bit, however the eager threshold
+  // slices the stream.
+  constexpr size_t kElems = 13;
+  auto fill = [](int rank, size_t t) {
+    return iota(kElems, 0.123f * static_cast<float>(rank + 1) *
+                            static_cast<float>(t + 1));
+  };
+  auto encode = [](const std::vector<float>& v) {
+    std::vector<float> enc(static_cast<size_t>(
+        Codec::encoded_floats(static_cast<int64_t>(v.size()))));
+    Codec::encode(v, enc, Precision::kBf16);
+    return enc;
+  };
+
+  // sequence: grad, grad, factor, factor, grad, factor — per test round.
+  std::vector<std::vector<float>> sync_grads(3);
+  std::vector<std::vector<float>> sync_factors(3);
+  {
+    LocalGroup group(2);
+    group.run([&](int rank, Communicator& comm) {
+      std::vector<std::vector<float>> grads{fill(rank, 0), fill(rank, 1),
+                                            fill(rank, 4)};
+      std::vector<std::vector<float>> factors{
+          encode(fill(rank, 2)), encode(fill(rank, 3)), encode(fill(rank, 5))};
+      FusionBuffer fusion(comm, /*capacity_bytes=*/64);
+      fusion.add(grads[0]);
+      fusion.add(grads[1]);
+      fusion.add(factors[0], Precision::kBf16);
+      fusion.add(factors[1], Precision::kBf16);
+      fusion.add(grads[2]);
+      fusion.add(factors[2], Precision::kBf16);
+      fusion.execute(ReduceOp::kAverage);
+      if (rank == 0) {
+        sync_grads = grads;
+        sync_factors = factors;
+      }
+    });
+  }
+
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<std::vector<float>> grads{fill(rank, 0), fill(rank, 1),
+                                          fill(rank, 4)};
+    std::vector<std::vector<float>> factors{
+        encode(fill(rank, 2)), encode(fill(rank, 3)), encode(fill(rank, 5))};
+    AsyncExecutor executor(comm, /*capacity_bytes=*/64, /*eager_bytes=*/32);
+    executor.submit(grads[0], ReduceOp::kAverage);
+    executor.submit(grads[1], ReduceOp::kAverage);
+    executor.submit(factors[0], ReduceOp::kAverage, Precision::kBf16);
+    executor.submit(factors[1], ReduceOp::kAverage, Precision::kBf16);
+    executor.submit(grads[2], ReduceOp::kAverage);
+    executor.submit(factors[2], ReduceOp::kAverage, Precision::kBf16);
+    executor.wait();
+    if (rank == 0) {
+      for (size_t t = 0; t < 3; ++t) {
+        for (size_t i = 0; i < kElems; ++i) {
+          EXPECT_EQ(grads[t][i], sync_grads[t][i]) << "grad " << t << " i=" << i;
+        }
+        for (size_t i = 0; i < factors[t].size(); ++i) {
+          ASSERT_EQ(std::bit_cast<uint32_t>(factors[t][i]),
+                    std::bit_cast<uint32_t>(sync_factors[t][i]))
+              << "factor " << t << " word " << i;
         }
       }
     }

@@ -1,0 +1,264 @@
+// comm::Codec — exhaustive FP16/BF16 conversion properties.
+//
+// The cross-backend parity contract rides on these conversions being pure,
+// total integer functions: every rank must produce byte-identical
+// encodings for identical inputs, and decode∘encode must be the identity
+// on every 16-bit pattern so re-encoding a reduced payload never drifts.
+#include "comm/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::comm {
+namespace {
+
+TEST(Codec, PrecisionNamesRoundTrip) {
+  for (Precision p : {Precision::kFp32, Precision::kFp16, Precision::kBf16}) {
+    EXPECT_EQ(parse_precision(precision_name(p)), p);
+  }
+  EXPECT_THROW(parse_precision("fp8"), Error);
+  EXPECT_THROW(parse_precision(""), Error);
+}
+
+TEST(Codec, TransportSizing) {
+  EXPECT_EQ(Codec::encoded_floats(0), 0);
+  EXPECT_EQ(Codec::encoded_floats(1), 1);
+  EXPECT_EQ(Codec::encoded_floats(2), 1);
+  EXPECT_EQ(Codec::encoded_floats(3), 2);
+  EXPECT_EQ(Codec::encoded_floats(1001), 501);
+  EXPECT_EQ(Codec::wire_element_bytes(Precision::kFp32), 4u);
+  EXPECT_EQ(Codec::wire_element_bytes(Precision::kFp16), 2u);
+  EXPECT_EQ(Codec::wire_element_bytes(Precision::kBf16), 2u);
+  EXPECT_EQ(Codec::wire_bytes(10, Precision::kFp32), 40u);
+  EXPECT_EQ(Codec::wire_bytes(10, Precision::kFp16), 20u);
+  EXPECT_EQ(Codec::wire_bytes(11, Precision::kBf16), 24u);  // pad slot counted
+}
+
+// ---- FP16 ------------------------------------------------------------------
+
+TEST(Codec, Fp16KnownDecodings) {
+  EXPECT_EQ(Codec::decode_fp16(0x0000), 0.0f);
+  EXPECT_TRUE(std::signbit(Codec::decode_fp16(0x8000)));
+  EXPECT_EQ(Codec::decode_fp16(0x8000), -0.0f);
+  EXPECT_EQ(Codec::decode_fp16(0x3C00), 1.0f);
+  EXPECT_EQ(Codec::decode_fp16(0xC000), -2.0f);
+  EXPECT_EQ(Codec::decode_fp16(0x7BFF), 65504.0f);  // max finite
+  EXPECT_EQ(Codec::decode_fp16(0x0400), std::ldexp(1.0f, -14));  // min normal
+  EXPECT_EQ(Codec::decode_fp16(0x0001), std::ldexp(1.0f, -24));  // min subnormal
+  EXPECT_EQ(Codec::decode_fp16(0x03FF),
+            std::ldexp(1.0f, -24) * 1023.0f);  // max subnormal
+  EXPECT_EQ(Codec::decode_fp16(0x7C00), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Codec::decode_fp16(0xFC00), -std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isnan(Codec::decode_fp16(0x7E00)));  // quiet NaN
+  EXPECT_TRUE(std::isnan(Codec::decode_fp16(0x7C01)));  // signalling NaN
+}
+
+TEST(Codec, Fp16KnownEncodings) {
+  EXPECT_EQ(Codec::encode_fp16(0.0f), 0x0000);
+  EXPECT_EQ(Codec::encode_fp16(-0.0f), 0x8000);
+  EXPECT_EQ(Codec::encode_fp16(1.0f), 0x3C00);
+  EXPECT_EQ(Codec::encode_fp16(-2.0f), 0xC000);
+  EXPECT_EQ(Codec::encode_fp16(65504.0f), 0x7BFF);
+  // Beyond max finite: 65520 is the exact midpoint to the next (absent)
+  // step — RNE rounds the all-ones mantissa up, overflowing to infinity.
+  EXPECT_EQ(Codec::encode_fp16(65520.0f), 0x7C00);
+  EXPECT_EQ(Codec::encode_fp16(1.0e6f), 0x7C00);
+  EXPECT_EQ(Codec::encode_fp16(-1.0e6f), 0xFC00);
+  EXPECT_EQ(Codec::encode_fp16(std::numeric_limits<float>::infinity()), 0x7C00);
+  // Subnormal targets.
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(1.0f, -24)), 0x0001);
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(1.0f, -14)), 0x0400);
+  // 2^-25 is the midpoint between 0 and the smallest subnormal: tie to
+  // even → zero. Anything above it rounds up to 0x0001.
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(1.0f, -25)), 0x0000);
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(1.5f, -25)), 0x0001);
+  // 3·2^-25 is the midpoint between subnormals 1 and 2: tie to even → 2.
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(3.0f, -25)), 0x0002);
+  // Below the halfway-to-smallest-subnormal everything flushes to ±0.
+  EXPECT_EQ(Codec::encode_fp16(std::ldexp(1.0f, -26)), 0x0000);
+  EXPECT_EQ(Codec::encode_fp16(-std::ldexp(1.0f, -26)), 0x8000);
+}
+
+TEST(Codec, Fp16RoundToNearestEvenTies) {
+  // 1 + 2^-11 sits exactly between 1.0 (even mantissa) and 1 + 2^-10:
+  // tie goes to the even neighbour, 1.0.
+  EXPECT_EQ(Codec::encode_fp16(1.0f + std::ldexp(1.0f, -11)), 0x3C00);
+  // 1 + 3·2^-11 sits between 1 + 2^-10 (odd) and 1 + 2^-9 (even): up.
+  EXPECT_EQ(Codec::encode_fp16(1.0f + std::ldexp(3.0f, -11)), 0x3C02);
+  // Non-ties round to nearest regardless of parity.
+  EXPECT_EQ(Codec::encode_fp16(1.0f + std::ldexp(1.0f, -11) +
+                               std::ldexp(1.0f, -18)),
+            0x3C01);
+  // 1024.5: ulp is 1 here, midpoint between 1024 (even) and 1025 → down.
+  EXPECT_EQ(Codec::encode_fp16(1024.5f), 0x6400);
+  // 1025.5: midpoint between 1025 (odd) and 1026 (even) → up.
+  EXPECT_EQ(Codec::encode_fp16(1025.5f), 0x6402);
+}
+
+TEST(Codec, Fp16AllPatternsRoundTripExactly) {
+  // decode∘encode must be the identity on every one of the 65536 bit
+  // patterns — zeros, subnormals, normals, infinities, and every NaN
+  // payload (quiet and signalling) included.
+  for (uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto h = static_cast<uint16_t>(bits);
+    const float f = Codec::decode_fp16(h);
+    ASSERT_EQ(Codec::encode_fp16(f), h)
+        << "pattern 0x" << std::hex << bits << " decoded to " << f
+        << " but re-encoded differently";
+  }
+}
+
+TEST(Codec, Fp16NanPayloadsSurvive) {
+  // A float NaN whose payload lives only in the low mantissa bits would
+  // truncate to an Inf pattern; the encoder must keep it a NaN.
+  const float low_payload_nan = std::bit_cast<float>(0x7F800001u);
+  const uint16_t encoded = Codec::encode_fp16(low_payload_nan);
+  EXPECT_EQ(encoded & 0x7C00u, 0x7C00u);
+  EXPECT_NE(encoded & 0x03FFu, 0u) << "NaN collapsed into Inf";
+  EXPECT_TRUE(std::isnan(Codec::decode_fp16(encoded)));
+  // Sign is preserved through the NaN path.
+  EXPECT_NE(Codec::encode_fp16(std::bit_cast<float>(0xFF800001u)) & 0x8000u, 0u);
+}
+
+TEST(Codec, Fp16EncodeMatchesNearestRepresentable) {
+  // Property check against a reference: for a sweep of random finite
+  // floats within FP16 range, the encoded value must be one of the two
+  // bracketing representables, and never farther than half an ulp + 1 bit.
+  Rng rng(0xC0DEC);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = (rng.uniform() * 2.0f - 1.0f) * 60000.0f;
+    const float back = Codec::decode_fp16(Codec::encode_fp16(x));
+    const float ulp = std::ldexp(1.0f, std::max(-24, std::ilogb(std::fabs(x) +
+                                                                1e-30f) -
+                                                         10));
+    ASSERT_LE(std::fabs(back - x), 0.5f * ulp + 1e-30f)
+        << "x=" << x << " decoded back to " << back;
+  }
+}
+
+// ---- BF16 ------------------------------------------------------------------
+
+TEST(Codec, Bf16KnownConversions) {
+  EXPECT_EQ(Codec::decode_bf16(0x3F80), 1.0f);
+  EXPECT_EQ(Codec::decode_bf16(0xC000), -2.0f);
+  EXPECT_EQ(Codec::encode_bf16(1.0f), 0x3F80);
+  EXPECT_EQ(Codec::encode_bf16(-2.0f), 0xC000);
+  EXPECT_EQ(Codec::encode_bf16(0.0f), 0x0000);
+  EXPECT_EQ(Codec::encode_bf16(-0.0f), 0x8000);
+  EXPECT_EQ(Codec::encode_bf16(std::numeric_limits<float>::infinity()), 0x7F80);
+  // Max finite float rounds up to bf16 infinity (RNE overflow).
+  EXPECT_EQ(Codec::encode_bf16(std::numeric_limits<float>::max()), 0x7F80);
+  // RNE tie: 1 + 2^-8 is midway between 1.0 (even) and 1 + 2^-7 → 1.0.
+  EXPECT_EQ(Codec::encode_bf16(1.0f + std::ldexp(1.0f, -8)), 0x3F80);
+  // 1 + 3·2^-8 is midway between 1+2^-7 (odd) and 1+2^-6 (even) → up.
+  EXPECT_EQ(Codec::encode_bf16(1.0f + std::ldexp(3.0f, -8)), 0x3F82);
+}
+
+TEST(Codec, Bf16AllPatternsRoundTripExactly) {
+  for (uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto h = static_cast<uint16_t>(bits);
+    ASSERT_EQ(Codec::encode_bf16(Codec::decode_bf16(h)), h)
+        << "pattern 0x" << std::hex << bits;
+  }
+}
+
+TEST(Codec, Bf16NanPayloadsSurvive) {
+  const float low_payload_nan = std::bit_cast<float>(0x7F800001u);
+  const uint16_t encoded = Codec::encode_bf16(low_payload_nan);
+  EXPECT_EQ(encoded & 0x7F80u, 0x7F80u);
+  EXPECT_NE(encoded & 0x007Fu, 0u) << "NaN collapsed into Inf";
+  const float negative_nan = std::bit_cast<float>(0xFF800001u);
+  EXPECT_NE(Codec::encode_bf16(negative_nan) & 0x8000u, 0u);
+}
+
+TEST(Codec, Bf16RandomMatrixRoundTripWithinTolerance) {
+  // BF16 keeps FP32's exponent, so the round-trip error is purely a
+  // 7-bit-mantissa rounding: |x - rt(x)| ≤ 2^-8 · |x| for every normal x.
+  Rng rng(0xBF16);
+  std::vector<float> m(64 * 64);
+  for (float& v : m) v = (rng.uniform() * 2.0f - 1.0f) * 1.0e3f;
+  std::vector<float> enc(static_cast<size_t>(
+      Codec::encoded_floats(static_cast<int64_t>(m.size()))));
+  std::vector<float> back(m.size());
+  Codec::encode(m, enc, Precision::kBf16);
+  Codec::decode(enc, back, Precision::kBf16);
+  for (size_t i = 0; i < m.size(); ++i) {
+    ASSERT_LE(std::fabs(back[i] - m[i]), std::ldexp(1.0f, -8) * std::fabs(m[i]))
+        << "index " << i << ": " << m[i] << " -> " << back[i];
+  }
+}
+
+// ---- buffer transport ------------------------------------------------------
+
+TEST(Codec, BufferRoundTripOddCountPadsWithZeroBits) {
+  const std::vector<float> src = {1.0f, -2.5f, 0.25f, 1.0e-3f, -7.0f};
+  std::vector<float> enc(static_cast<size_t>(
+      Codec::encoded_floats(static_cast<int64_t>(src.size()))));
+  ASSERT_EQ(enc.size(), 3u);
+  for (Precision p : {Precision::kFp16, Precision::kBf16}) {
+    Codec::encode(src, enc, p);
+    // The pad half-word of the final transport float must be zero bits —
+    // it rides reductions as +0.0 and must re-encode stably.
+    EXPECT_EQ(std::bit_cast<uint32_t>(enc.back()) >> 16, 0u);
+    std::vector<float> back(src.size());
+    Codec::decode(enc, back, p);
+    for (size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(back[i], Codec::decode_scalar(Codec::encode_scalar(src[i], p), p));
+    }
+  }
+}
+
+TEST(Codec, BufferElementOrderIsLittleEndianWithinWord) {
+  const std::vector<float> src = {1.0f, -2.0f};
+  std::vector<float> enc(1);
+  Codec::encode(src, enc, Precision::kFp16);
+  const uint32_t word = std::bit_cast<uint32_t>(enc[0]);
+  EXPECT_EQ(static_cast<uint16_t>(word & 0xFFFFu), 0x3C00);  // element 0 low
+  EXPECT_EQ(static_cast<uint16_t>(word >> 16), 0xC000);      // element 1 high
+}
+
+TEST(Codec, BufferSizeMismatchThrows) {
+  std::vector<float> src(5);
+  std::vector<float> wrong(2);  // needs 3
+  EXPECT_THROW(Codec::encode(src, wrong, Precision::kFp16), Error);
+  EXPECT_THROW(Codec::decode(wrong, src, Precision::kBf16), Error);
+}
+
+TEST(Codec, Fp32IsAnIdentityPassthroughNotACodecCall) {
+  std::vector<float> src(4), dst(2);
+  EXPECT_THROW(Codec::encode(src, dst, Precision::kFp32), Error);
+  EXPECT_THROW(Codec::decode(dst, src, Precision::kFp32), Error);
+}
+
+TEST(Codec, ReencodingDecodedBufferIsStable) {
+  // Idempotence on buffers: once a payload has been quantised, another
+  // encode/decode trip must not change a single bit — the property the
+  // reduce-side re-encode in allreduce_encoded depends on.
+  Rng rng(42);
+  std::vector<float> src(1001);
+  for (float& v : src) v = (rng.uniform() * 2.0f - 1.0f) * 100.0f;
+  for (Precision p : {Precision::kFp16, Precision::kBf16}) {
+    std::vector<float> enc(static_cast<size_t>(
+        Codec::encoded_floats(static_cast<int64_t>(src.size()))));
+    std::vector<float> decoded(src.size());
+    Codec::encode(src, enc, p);
+    Codec::decode(enc, decoded, p);
+    std::vector<float> enc2(enc.size());
+    Codec::encode(decoded, enc2, p);
+    for (size_t i = 0; i < enc.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(enc[i]), std::bit_cast<uint32_t>(enc2[i]))
+          << precision_name(p) << " word " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dkfac::comm

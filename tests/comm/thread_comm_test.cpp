@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <numeric>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "common/error.hpp"
 
 namespace dkfac::comm {
@@ -180,13 +182,102 @@ TEST(ThreadComm, ByteAccountingExactAcrossRepeatedAllreduces) {
 TEST(ThreadComm, FactorVolumeCountersAccumulate) {
   SelfComm comm;
   EXPECT_EQ(comm.stats().factor_dense_bytes, 0u);
+  // Two-argument form: no precision codec — encoded degenerates to packed.
   comm.record_factor_volume(100, 55);
   comm.record_factor_volume(100, 55);
   EXPECT_EQ(comm.stats().factor_dense_bytes, 200u);
   EXPECT_EQ(comm.stats().factor_packed_bytes, 110u);
+  EXPECT_EQ(comm.stats().factor_encoded_bytes, 110u);
+  // Full chain: dense → packed → encoded.
+  comm.record_factor_volume(100, 55, 28);
+  EXPECT_EQ(comm.stats().factor_dense_bytes, 300u);
+  EXPECT_EQ(comm.stats().factor_packed_bytes, 165u);
+  EXPECT_EQ(comm.stats().factor_encoded_bytes, 138u);
   comm.reset_stats();
   EXPECT_EQ(comm.stats().factor_dense_bytes, 0u);
   EXPECT_EQ(comm.stats().factor_packed_bytes, 0u);
+  EXPECT_EQ(comm.stats().factor_encoded_bytes, 0u);
+}
+
+TEST(ThreadComm, EncodedAllreduceMatchesScalarRankOrderFold) {
+  // The encode-once-reduce-in-fp32 collective must equal the hand-rolled
+  // fold: decode every rank's quantised contribution, sum in rank order,
+  // average, re-encode — bit for bit, on every rank.
+  constexpr int kWorld = 3;
+  constexpr size_t kElems = 9;  // odd → pad slot exercised
+  auto value = [](int rank, size_t i) {
+    return 0.713f * static_cast<float>(i + 1) -
+           0.41f * static_cast<float>(rank + 1);
+  };
+  std::vector<float> expected_sum(kElems, 0.0f);
+  for (int r = 0; r < kWorld; ++r) {
+    for (size_t i = 0; i < kElems; ++i) {
+      expected_sum[i] += Codec::decode_scalar(
+          Codec::encode_scalar(value(r, i), Precision::kFp16), Precision::kFp16);
+    }
+  }
+  for (float& v : expected_sum) v /= static_cast<float>(kWorld);
+  std::vector<float> expected_enc(static_cast<size_t>(
+      Codec::encoded_floats(static_cast<int64_t>(kElems))));
+  Codec::encode(expected_sum, expected_enc, Precision::kFp16);
+
+  LocalGroup group(kWorld);
+  group.run([&](int rank, Communicator& comm) {
+    std::vector<float> mine(kElems);
+    for (size_t i = 0; i < kElems; ++i) mine[i] = value(rank, i);
+    std::vector<float> enc(expected_enc.size());
+    Codec::encode(mine, enc, Precision::kFp16);
+    comm.allreduce_encoded(enc, Precision::kFp16, ReduceOp::kAverage);
+    for (size_t i = 0; i < enc.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(enc[i]),
+                std::bit_cast<uint32_t>(expected_enc[i]))
+          << "rank " << rank << " word " << i;
+    }
+    // Counted as an allreduce at the ENCODED size; the internal allgather
+    // transport must not leak into the allgather counters.
+    EXPECT_EQ(comm.stats().allreduce_calls, 1u);
+    EXPECT_EQ(comm.stats().allreduce_bytes, enc.size() * sizeof(float));
+    EXPECT_EQ(comm.stats().allgather_calls, 0u);
+    EXPECT_EQ(comm.stats().allgather_bytes, 0u);
+  });
+}
+
+TEST(ThreadComm, EncodedAllreduceMaxFoldsDecodedValues) {
+  LocalGroup group(2);
+  group.run([&](int rank, Communicator& comm) {
+    // rank 0 holds {-1, 5}, rank 1 holds {2, -3} → max {2, 5}.
+    std::vector<float> mine = rank == 0 ? std::vector<float>{-1.0f, 5.0f}
+                                        : std::vector<float>{2.0f, -3.0f};
+    std::vector<float> enc(1);
+    Codec::encode(mine, enc, Precision::kBf16);
+    comm.allreduce_encoded(enc, Precision::kBf16, ReduceOp::kMax);
+    std::vector<float> out(2);
+    Codec::decode(enc, out, Precision::kBf16);
+    EXPECT_EQ(out[0], 2.0f);
+    EXPECT_EQ(out[1], 5.0f);
+  });
+}
+
+TEST(ThreadComm, EncodedAllreduceSelfCommIsIdentity) {
+  SelfComm comm;
+  std::vector<float> src = {1.5f, -2.25f, 0.125f};
+  std::vector<float> enc(2);
+  Codec::encode(src, enc, Precision::kFp16);
+  const std::vector<float> before = enc;
+  comm.allreduce_encoded(enc, Precision::kFp16, ReduceOp::kAverage);
+  for (size_t i = 0; i < enc.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(enc[i]),
+              std::bit_cast<uint32_t>(before[i]));
+  }
+  EXPECT_EQ(comm.stats().allreduce_calls, 1u);
+  EXPECT_EQ(comm.stats().allreduce_bytes, enc.size() * sizeof(float));
+}
+
+TEST(ThreadComm, EncodedAllreduceRejectsFp32) {
+  SelfComm comm;
+  std::vector<float> data(4, 1.0f);
+  EXPECT_THROW(comm.allreduce_encoded(data, Precision::kFp32, ReduceOp::kSum),
+               Error);
 }
 
 TEST(ThreadComm, ResetStats) {

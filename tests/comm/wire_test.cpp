@@ -4,11 +4,13 @@
 #include <sys/socket.h>
 
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "tensor/random.hpp"
 
 namespace dkfac::comm::net {
 namespace {
@@ -227,6 +229,119 @@ TEST(Wire, ExchangeFullDuplexSingleThreaded) {
   std::vector<float> b_got(from_a.size());
   recv_frame_into(b, FrameType::kData, /*seq=*/0, std::span<float>(b_got), 1.0);
   EXPECT_EQ(b_got, from_a);
+}
+
+// ---- frame fuzzing --------------------------------------------------------
+//
+// Hardening sweep: no mutation of a valid frame — truncation, a bit flip
+// anywhere in header/payload/CRC, or an oversized length field — may ever
+// be ACCEPTED, HANG the receiver, or escape as anything but a typed
+// dkfac::Error. The PRNG is seeded deterministically, so a failure
+// reproduces exactly; CRC-collision flakes are impossible for single-bit
+// flips (CRC-32 detects all of them) and the truncation/oversize paths
+// never reach the checksum.
+
+/// One canonical valid frame (header + payload bytes) as it appears on the
+/// stream.
+std::vector<uint8_t> canonical_frame(std::span<const float> payload,
+                                     uint32_t seq) {
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(FrameType::kData);
+  h.seq = seq;
+  h.length = static_cast<uint32_t>(payload.size_bytes());
+  h.checksum = crc32({reinterpret_cast<const uint8_t*>(payload.data()),
+                      payload.size_bytes()});
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload.size_bytes());
+  h.encode(frame.data());
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+              payload.size_bytes());
+  return frame;
+}
+
+/// Writes `stream` to a fresh connection, closes the sender, and expects
+/// the frame receive to surface a typed dkfac::Error — never success, a
+/// hang, or a foreign exception (which would propagate and fail the test).
+void expect_typed_rejection(const std::vector<uint8_t>& stream,
+                            const std::string& what) {
+  auto [sender, receiver] = socket_pair();
+  if (!stream.empty()) sender.send_all(stream.data(), stream.size(), 2.0);
+  // Closing the sender turns every "waiting for more bytes" state into an
+  // immediate peer-close error instead of a timeout wait.
+  sender.close();
+  std::vector<uint8_t> out;
+  const auto start = Clock::now();
+  try {
+    recv_frame(receiver, FrameType::kData, /*seq=*/9, out, 2.0);
+    FAIL() << what << ": mutated frame was accepted";
+  } catch (const Error&) {
+    // Typed rejection — exactly what the contract demands.
+  }
+  EXPECT_LT(seconds_since(start), 2.5) << what << ": rejection was not prompt";
+}
+
+TEST(WireFuzz, TruncatedFramesAlwaysRejectTyped) {
+  const std::vector<float> payload = test_payload(37);
+  const std::vector<uint8_t> frame = canonical_frame(payload, /*seq=*/9);
+  Rng rng(0xF422);
+  // Every header-boundary truncation plus a random sample of the rest.
+  for (size_t cut = 0; cut <= kFrameHeaderBytes; ++cut) {
+    expect_typed_rejection({frame.begin(), frame.begin() + static_cast<ptrdiff_t>(cut)},
+                           "truncate@" + std::to_string(cut));
+  }
+  for (int i = 0; i < 64; ++i) {
+    const size_t cut = rng.uniform_int(frame.size());  // in [0, size)
+    expect_typed_rejection({frame.begin(), frame.begin() + static_cast<ptrdiff_t>(cut)},
+                           "truncate@" + std::to_string(cut));
+  }
+}
+
+TEST(WireFuzz, BitFlipsAnywhereAlwaysRejectTyped) {
+  const std::vector<float> payload = test_payload(37);
+  const std::vector<uint8_t> frame = canonical_frame(payload, /*seq=*/9);
+  Rng rng(0xB17F11B);
+  // Every bit of the header (magic, version, type, seq, length, CRC) plus
+  // a random sample of payload bits.
+  for (size_t bit = 0; bit < kFrameHeaderBytes * 8; ++bit) {
+    std::vector<uint8_t> mutated = frame;
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    expect_typed_rejection(mutated, "headerflip@" + std::to_string(bit));
+  }
+  for (int i = 0; i < 128; ++i) {
+    const size_t bit =
+        kFrameHeaderBytes * 8 + rng.uniform_int((frame.size() - kFrameHeaderBytes) * 8);
+    std::vector<uint8_t> mutated = frame;
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    expect_typed_rejection(mutated, "payloadflip@" + std::to_string(bit));
+  }
+}
+
+TEST(WireFuzz, OversizedLengthFieldsRejectBeforeAllocation) {
+  const std::vector<float> payload = test_payload(8);
+  Rng rng(0x0DDF00D);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<uint8_t> frame = canonical_frame(payload, /*seq=*/9);
+    // Length field lives at bytes 12..15. Patch in a value beyond the
+    // protocol cap — the receiver must reject it BEFORE allocating or
+    // waiting for a payload that will never arrive.
+    const uint32_t huge =
+        kMaxFramePayloadBytes + 1u +
+        static_cast<uint32_t>(rng.uniform_int(0x7FFFFFFFu - kMaxFramePayloadBytes));
+    for (int b = 0; b < 4; ++b) {
+      frame[12 + static_cast<size_t>(b)] = static_cast<uint8_t>(huge >> (8 * b));
+    }
+    expect_typed_rejection(frame, "hugelen=" + std::to_string(huge));
+  }
+}
+
+TEST(WireFuzz, RandomGarbageStreamsRejectTyped) {
+  Rng rng(0x6A42BA6E);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint8_t> garbage(rng.uniform_int(256));
+    for (uint8_t& b : garbage) {
+      b = static_cast<uint8_t>(rng.uniform_int(256));
+    }
+    expect_typed_rejection(garbage, "garbage#" + std::to_string(i));
+  }
 }
 
 TEST(Wire, ExchangeLargePayloadsDoNotDeadlock) {
