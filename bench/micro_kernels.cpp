@@ -44,6 +44,63 @@ void BM_GemmTransposed(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTransposed)->Arg(27)->Arg(144)->Arg(288);
 
+void BM_Syrk(benchmark::State& state) {
+  // The dedicated factor-statistics kernel: AᵀA via the upper triangle only.
+  // Items processed counts the full 2·r·d² so GFLOP/s is comparable with
+  // BM_GemmTransposed — the ~2× "effective" rate is the symmetry win.
+  const int64_t rows = 4096;
+  const int64_t dim = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{rows, dim}, rng);
+  Tensor c(Shape{dim, dim});
+  for (auto _ : state) {
+    linalg::syrk(1.0f / rows, a, linalg::Trans::kYes, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * dim * dim);
+}
+BENCHMARK(BM_Syrk)->Arg(27)->Arg(144)->Arg(288);
+
+void BM_Gemv(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor x = Tensor::randn(Shape{n}, rng);
+  Tensor y(Shape{n});
+  for (auto _ : state) {
+    linalg::gemv(1.0f, a, linalg::Trans::kNo, x, 0.0f, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+}
+BENCHMARK(BM_Gemv)->Arg(256)->Arg(1024);
+
+void BM_Transpose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    Tensor t = linalg::transpose(a);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * sizeof(float) * 2);
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_Cholesky(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  Tensor m = Tensor::randn(Shape{n, n}, rng);
+  Tensor a(Shape{n, n});
+  linalg::syrk(1.0f, m, linalg::Trans::kYes, 0.0f, a);
+  linalg::add_diagonal(a, 0.1f);
+  for (auto _ : state) {
+    Tensor l = linalg::cholesky(a);
+    benchmark::DoNotOptimize(l.data());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
 void BM_SymEig(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(3);

@@ -4,6 +4,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "linalg/threading.hpp"
 
 namespace dkfac::comm {
 
@@ -103,6 +104,10 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
 }
 
 void AsyncExecutor::worker_loop() {
+  // This worker runs concurrently with the submitting thread's OMP team: any
+  // linalg kernel reached from here (codec folds, backend reductions) must
+  // not open a second team on top of it.
+  linalg::SerialKernelScope serial_kernels;
   // The batch under construction. Boundaries depend only on the submission
   // sequence (capacity, op change, flush), never on queue timing, so every
   // rank cuts identical batches — the cross-rank collective-matching

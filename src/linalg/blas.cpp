@@ -2,23 +2,148 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/error.hpp"
+#include "linalg/microkernel.hpp"
+#include "linalg/pack.hpp"
+#include "linalg/threading.hpp"
 
 namespace dkfac::linalg {
 
 namespace {
 
-struct MatView {
-  const float* data;
-  int64_t rows;
-  int64_t cols;
-  // Logical element (r, c) after applying the transpose flag.
-  float operator()(int64_t r, int64_t c) const { return data[r * cols + c]; }
-};
+using detail::kKC;
+using detail::kMC;
+using detail::kMR;
+using detail::kNC;
+using detail::kNR;
+using detail::OpView;
 
 void check_rank2(const Tensor& t, const char* name) {
   DKFAC_CHECK(t.ndim() == 2) << name << " must be rank-2, got " << t.shape();
+}
+
+/// Scale C by beta in place: the one pass over C that reads the old value.
+/// beta == 0 overwrites (stale garbage / NaN is never read — BLAS rules).
+void apply_beta(float beta, float* c, int64_t count) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<size_t>(count) * sizeof(float));
+    return;
+  }
+  const bool par = parallel_kernels_allowed() && count >= (1 << 16);
+#pragma omp parallel for schedule(static) if (par)
+  for (int64_t i = 0; i < count; ++i) c[i] *= beta;
+}
+
+/// Writes the valid region of one accumulated micro-tile into C, applying
+/// alpha; with `upper_only` it drops elements below the diagonal.
+inline void write_tile(float alpha, const float* acc, float* c, int64_t n,
+                       int64_t i0, int64_t mr, int64_t j0, int64_t nr,
+                       bool upper_only) {
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + (i0 + r) * n;
+    const float* arow = acc + r * kNR;
+    const int64_t c_begin = upper_only ? std::max<int64_t>(0, i0 + r - j0) : 0;
+    for (int64_t cc = c_begin; cc < nr; ++cc) {
+      crow[j0 + cc] += alpha * arow[cc];
+    }
+  }
+}
+
+/// Goto-style macro-kernel: C(m×n, row-major, contiguous) += alpha·op(A)·op(B)
+/// after the caller's beta pass. When `upper_only`, micro-tiles strictly
+/// below the diagonal are skipped and only elements with col ≥ row are
+/// written — the SYRK driver; computed elements follow the exact same
+/// accumulation order as the full product, so they match gemm bitwise.
+///
+/// Loop nest (jc → pc → ic ∥ → jr → ir): one parallel region wraps the
+/// whole nest (per-thread A-pack allocated once per call); B-panels are
+/// packed once per (jc, pc) in a `single` section and shared. Threads
+/// normally partition row-blocks (ic); when the matrix has a single
+/// row-block (the tall-skinny AᵀA factor shapes, m = d ≤ 96), the A-panel
+/// is packed shared and threads partition column tiles (jr) instead.
+/// Either way every output element is accumulated by exactly one thread in
+/// ascending-k order, and the mode depends only on the shape — so results
+/// are invariant to the thread count.
+void gemm_driver(float alpha, const OpView& a, const OpView& b, float* c,
+                 int64_t m, int64_t n, int64_t k, bool upper_only) {
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  const bool par = parallel_kernels_allowed() && m * n * k >= (1 << 15);
+  const int64_t bpack_cols = std::min(n, kNC);
+  const int64_t bpack_slivers = (bpack_cols + kNR - 1) / kNR;
+  std::vector<float> bpack(
+      static_cast<size_t>(bpack_slivers * kNR * std::min(k, kKC)));
+  const int64_t num_iblocks = (m + kMC - 1) / kMC;
+  const bool col_mode = num_iblocks == 1;
+  static_assert(kMC % kMR == 0, "A-panel height must be a sliver multiple");
+  const int64_t apack_floats =
+      (col_mode ? (m + kMR - 1) / kMR * kMR : kMC) * std::min(k, kKC);
+  std::vector<float> apack_shared(
+      col_mode ? static_cast<size_t>(apack_floats) : 0);
+
+#pragma omp parallel if (par)
+  {
+    std::vector<float> apack_local(
+        col_mode ? 0 : static_cast<size_t>(apack_floats));
+    alignas(32) float acc[kMR * kNR];
+
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      for (int64_t pc = 0; pc < k; pc += kKC) {
+        const int64_t kc = std::min(kKC, k - pc);
+#pragma omp single
+        {
+          detail::pack_b(b, pc, kc, jc, nc, bpack.data());
+          if (col_mode) detail::pack_a(a, 0, m, pc, kc, apack_shared.data());
+        }  // implicit barrier: packs are visible before any tile computes
+
+        if (col_mode) {
+          const int64_t num_jtiles = (nc + kNR - 1) / kNR;
+#pragma omp for schedule(static)
+          for (int64_t jt = 0; jt < num_jtiles; ++jt) {
+            const int64_t jr = jt * kNR;
+            const int64_t nr = std::min(kNR, nc - jr);
+            const int64_t j0 = jc + jr;
+            for (int64_t ir = 0; ir < m; ir += kMR) {
+              const int64_t mr = std::min(kMR, m - ir);
+              if (upper_only && ir > j0 + nr - 1) continue;
+              std::memset(acc, 0, sizeof(acc));
+              detail::microkernel(kc, apack_shared.data() + ir * kc,
+                                  bpack.data() + jr * kc, acc);
+              write_tile(alpha, acc, c, n, ir, mr, j0, nr, upper_only);
+            }
+          }  // implicit barrier before the next slab's pack
+        } else {
+#pragma omp for schedule(static)
+          for (int64_t ib = 0; ib < num_iblocks; ++ib) {
+            const int64_t ic = ib * kMC;
+            const int64_t mc = std::min(kMC, m - ic);
+            // Row-block entirely below every column of this jc panel: no
+            // upper-triangle element lives here.
+            if (upper_only && ic > jc + nc - 1) continue;
+            detail::pack_a(a, ic, mc, pc, kc, apack_local.data());
+            for (int64_t jr = 0; jr < nc; jr += kNR) {
+              const int64_t nr = std::min(kNR, nc - jr);
+              for (int64_t ir = 0; ir < mc; ir += kMR) {
+                const int64_t mr = std::min(kMR, mc - ir);
+                const int64_t i0 = ic + ir;
+                const int64_t j0 = jc + jr;
+                if (upper_only && i0 > j0 + nr - 1) continue;
+                std::memset(acc, 0, sizeof(acc));
+                detail::microkernel(kc, apack_local.data() + ir * kc,
+                                    bpack.data() + jr * kc, acc);
+                write_tile(alpha, acc, c, n, i0, mr, j0, nr, upper_only);
+              }
+            }
+          }  // implicit barrier before the next slab's pack
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -36,45 +161,10 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
   DKFAC_CHECK(c.dim(0) == m && c.dim(1) == n)
       << "gemm output shape " << c.shape() << " expected [" << m << ", " << n << "]";
 
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  const int64_t lda = a.dim(1);
-  const int64_t ldb = b.dim(1);
-
-  if (beta != 1.0f) {
-    if (beta == 0.0f) {
-      c.zero_();
-    } else {
-      c.scale_(beta);
-    }
-  }
-
-  // Row-panel parallel, k-inner loop ordered for contiguous B access in the
-  // NN/NT-free cases; transposed operands fall back to strided reads.
-  constexpr int64_t kBlock = 64;
-#pragma omp parallel for schedule(static)
-  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const int64_t i1 = std::min(i0 + kBlock, m);
-    for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const int64_t k1 = std::min(k0 + kBlock, k);
-      for (int64_t i = i0; i < i1; ++i) {
-        float* crow = pc + i * n;
-        for (int64_t kk = k0; kk < k1; ++kk) {
-          const float aval =
-              alpha * (trans_a == Trans::kNo ? pa[i * lda + kk] : pa[kk * lda + i]);
-          if (aval == 0.0f) continue;
-          if (trans_b == Trans::kNo) {
-            const float* brow = pb + kk * ldb;
-            for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-          } else {
-            const float* bcol = pb + kk;  // stride ldb over j
-            for (int64_t j = 0; j < n; ++j) crow[j] += aval * bcol[j * ldb];
-          }
-        }
-      }
-    }
-  }
+  apply_beta(beta, c.data(), c.numel());
+  const OpView av{a.data(), a.dim(1), trans_a == Trans::kYes};
+  const OpView bv{b.data(), b.dim(1), trans_b == Trans::kYes};
+  gemm_driver(alpha, av, bv, c.data(), m, n, k, /*upper_only=*/false);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
@@ -87,6 +177,28 @@ Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
   return c;
 }
 
+void syrk(float alpha, const Tensor& a, Trans trans, float beta, Tensor& c) {
+  check_rank2(a, "A");
+  check_rank2(c, "C");
+  const int64_t n = trans == Trans::kYes ? a.dim(1) : a.dim(0);
+  const int64_t k = trans == Trans::kYes ? a.dim(0) : a.dim(1);
+  DKFAC_CHECK(c.dim(0) == n && c.dim(1) == n)
+      << "syrk output shape " << c.shape() << " expected [" << n << ", " << n << "]";
+
+  apply_beta(beta, c.data(), c.numel());
+  // op1 = op(A) (n×k), op2 = op(A)ᵀ (k×n) — the same views gemm would build
+  // for the equivalent call, so the computed triangle matches it bitwise.
+  const OpView op1{a.data(), a.dim(1), trans == Trans::kYes};
+  const OpView op2{a.data(), a.dim(1), trans == Trans::kNo};
+  gemm_driver(alpha, op1, op2, c.data(), n, n, k, /*upper_only=*/true);
+
+  // Mirror the computed upper triangle; C comes back exactly symmetric.
+  float* pc = c.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) pc[j * n + i] = pc[i * n + j];
+  }
+}
+
 void gemv(float alpha, const Tensor& a, Trans trans_a, const Tensor& x,
           float beta, Tensor& y) {
   check_rank2(a, "A");
@@ -97,14 +209,51 @@ void gemv(float alpha, const Tensor& a, Trans trans_a, const Tensor& x,
   DKFAC_CHECK(y.dim(0) == m) << "gemv y length " << y.dim(0) << " expected " << m;
 
   const int64_t lda = a.dim(1);
-  for (int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < k; ++j) {
-      const float aij =
-          trans_a == Trans::kNo ? a.data()[i * lda + j] : a.data()[j * lda + i];
-      acc += static_cast<double>(aij) * x[j];
+  const float* pa = a.data();
+  const float* px = x.data();
+  float* py = y.data();
+  const bool par = parallel_kernels_allowed() && m * k >= (1 << 14);
+
+  if (trans_a == Trans::kNo) {
+    // One contiguous row per output: SIMD dot product in double.
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t i = 0; i < m; ++i) {
+      const float* row = pa + i * lda;
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (int64_t j = 0; j < k; ++j) {
+        acc += static_cast<double>(row[j]) * px[j];
+      }
+      const float ax = alpha * static_cast<float>(acc);
+      py[i] = beta == 0.0f ? ax : ax + beta * py[i];
     }
-    y[i] = alpha * static_cast<float>(acc) + beta * y[i];
+    return;
+  }
+
+  // Transposed: y = alpha·Aᵀx. Process output in fixed-width chunks; within
+  // a chunk, stream A row-wise (contiguous) and accumulate per-element in
+  // ascending-j order — the chunk grid is independent of the thread count,
+  // so results are deterministic, and every A read is contiguous.
+  constexpr int64_t kChunk = 256;
+  const int64_t num_chunks = (m + kChunk - 1) / kChunk;
+#pragma omp parallel for schedule(static) if (par)
+  for (int64_t ch = 0; ch < num_chunks; ++ch) {
+    const int64_t i0 = ch * kChunk;
+    const int64_t len = std::min(kChunk, m - i0);
+    double acc[kChunk];
+    std::memset(acc, 0, static_cast<size_t>(len) * sizeof(double));
+    for (int64_t j = 0; j < k; ++j) {
+      const float* row = pa + j * lda + i0;
+      const double xj = px[j];
+#pragma omp simd
+      for (int64_t i = 0; i < len; ++i) {
+        acc[i] += static_cast<double>(row[i]) * xj;
+      }
+    }
+    for (int64_t i = 0; i < len; ++i) {
+      const float ax = alpha * static_cast<float>(acc[i]);
+      py[i0 + i] = beta == 0.0f ? ax : ax + beta * py[i0 + i];
+    }
   }
 }
 
@@ -113,14 +262,22 @@ Tensor transpose(const Tensor& a) {
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   Tensor out(Shape{n, m});
+  const float* src = a.data();
+  float* dst = out.data();
   constexpr int64_t kBlock = 32;
-  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+  const int64_t iblocks = (m + kBlock - 1) / kBlock;
+  const int64_t jblocks = (n + kBlock - 1) / kBlock;
+  const bool par = parallel_kernels_allowed() && m * n >= (1 << 16);
+#pragma omp parallel for schedule(static) collapse(2) if (par)
+  for (int64_t bi = 0; bi < iblocks; ++bi) {
+    for (int64_t bj = 0; bj < jblocks; ++bj) {
+      const int64_t i0 = bi * kBlock;
+      const int64_t j0 = bj * kBlock;
       const int64_t i1 = std::min(i0 + kBlock, m);
       const int64_t j1 = std::min(j0 + kBlock, n);
       for (int64_t i = i0; i < i1; ++i) {
         for (int64_t j = j0; j < j1; ++j) {
-          out.data()[j * m + i] = a.data()[i * n + j];
+          dst[j * m + i] = src[i * n + j];
         }
       }
     }

@@ -2,7 +2,18 @@
 //
 // These are the compute primitives behind factor accumulation (A = aᵀa),
 // gradient preconditioning (Eqs 13–15), and the conv/linear layers. GEMM is
-// cache-blocked and OpenMP-parallel over row panels.
+// a packed, register-blocked Goto-style kernel (see microkernel.hpp /
+// pack.hpp): A- and B-panels are copied into contiguous transpose-normalized
+// buffers and driven through an FMA micro-kernel, so all four Trans
+// combinations run the same inner loop at the same speed. SYRK computes
+// symmetric Gram matrices (the K-FAC factor shape) at ~half the GEMM flops
+// by evaluating only the upper triangle and mirroring.
+//
+// Every kernel accumulates each output element in a fixed order, so results
+// are bitwise identical regardless of OMP_NUM_THREADS (threads partition
+// output elements, never a reduction). Kernels consult
+// linalg::parallel_kernels_allowed() and stay serial on threads where a
+// parallel region would oversubscribe (nested OMP, AsyncExecutor worker).
 #pragma once
 
 #include "tensor/tensor.hpp"
@@ -13,6 +24,9 @@ enum class Trans { kNo, kYes };
 
 /// C = alpha * op(A) @ op(B) + beta * C.
 /// All matrices are rank-2 row-major tensors; shapes are checked.
+/// BLAS semantics: beta == 0 overwrites C (stale values, including NaN, are
+/// never read); alpha == 0 skips the product entirely. For alpha != 0 the
+/// product is fully IEEE — zeros in A propagate NaN/Inf from B.
 void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
           Trans trans_b, float beta, Tensor& c);
 
@@ -20,11 +34,23 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
               Trans trans_b = Trans::kNo);
 
-/// y = alpha * op(A) @ x + beta * y, with x, y rank-1.
+/// Symmetric rank-k update, the factor-statistics kernel:
+///   trans == kYes:  C = alpha * AᵀA + beta * C   (A is [rows, d], C [d, d])
+///   trans == kNo :  C = alpha * AAᵀ + beta * C   (A is [d, cols], C [d, d])
+/// Only the upper triangle is computed (~half the GEMM flops); the result is
+/// then mirrored so C comes back fully dense and exactly symmetric. The
+/// computed triangle is bitwise identical to the corresponding gemm call
+/// (same packing, same blocking, same per-element accumulation order).
+/// With beta != 0, C is assumed symmetric: the lower triangle of the output
+/// is the mirror of the upper, so an asymmetric C's lower input is ignored.
+void syrk(float alpha, const Tensor& a, Trans trans, float beta, Tensor& c);
+
+/// y = alpha * op(A) @ x + beta * y, with x, y rank-1. Row-parallel with
+/// SIMD double accumulation; beta == 0 overwrites y without reading it.
 void gemv(float alpha, const Tensor& a, Trans trans_a, const Tensor& x,
           float beta, Tensor& y);
 
-/// Returns Aᵀ for a rank-2 tensor.
+/// Returns Aᵀ for a rank-2 tensor (cache-blocked, parallel over blocks).
 Tensor transpose(const Tensor& a);
 
 /// A := (A + Aᵀ)/2; requires a square rank-2 tensor. Keeps accumulated

@@ -1,9 +1,11 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
+#include "linalg/threading.hpp"
 
 namespace dkfac::linalg {
 
@@ -14,32 +16,82 @@ void check_square(const Tensor& a, const char* who) {
       << who << " needs a square matrix, got " << a.shape();
 }
 
+/// Panel width for the blocked right-looking factorization: wide enough
+/// that the O(n²·NB) trailing update dominates, small enough that the
+/// serial diagonal-block factor stays negligible.
+constexpr int64_t kNB = 64;
+
 }  // namespace
 
 Tensor cholesky(const Tensor& a) {
   check_square(a, "cholesky");
   const int64_t n = a.dim(0);
   // Factor in double: K-FAC covariance factors can have condition numbers
-  // near 1/γ, where FP32 pivots lose positivity.
+  // near 1/γ, where FP32 pivots lose positivity. Blocked right-looking
+  // algorithm: factor a kNB-wide diagonal block, triangular-solve the panel
+  // below it, then apply the panel's rank-kNB (SYRK-shaped) update to the
+  // trailing submatrix. The trailing update is the O(n³) term and is
+  // parallel over rows — each element is updated by one thread with a fixed
+  // ascending-k inner order, so the factor is invariant to the thread count.
   std::vector<double> l(static_cast<size_t>(n * n), 0.0);
   auto L = [&](int64_t i, int64_t j) -> double& { return l[i * n + j]; };
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) L(i, j) = a.at(i, j);
+  }
+  const bool par = parallel_kernels_allowed() && n >= 128;
 
-  for (int64_t j = 0; j < n; ++j) {
-    double diag = a.at(j, j);
-    for (int64_t k = 0; k < j; ++k) diag -= L(j, k) * L(j, k);
-    DKFAC_CHECK(diag > 0.0) << "matrix not positive definite at pivot " << j
-                            << " (value " << diag << ")";
-    const double ljj = std::sqrt(diag);
-    L(j, j) = ljj;
-    for (int64_t i = j + 1; i < n; ++i) {
-      double v = a.at(i, j);
-      for (int64_t k = 0; k < j; ++k) v -= L(i, k) * L(j, k);
-      L(i, j) = v / ljj;
+  for (int64_t j0 = 0; j0 < n; j0 += kNB) {
+    const int64_t jb = std::min(kNB, n - j0);
+    const int64_t jend = j0 + jb;
+
+    // 1. Unblocked factor of the diagonal block (prior panels' updates have
+    //    already been folded in by earlier trailing updates). Serial — the
+    //    positivity check must throw from outside any parallel region.
+    for (int64_t j = j0; j < jend; ++j) {
+      double diag = L(j, j);
+      for (int64_t k = j0; k < j; ++k) diag -= L(j, k) * L(j, k);
+      DKFAC_CHECK(diag > 0.0) << "matrix not positive definite at pivot " << j
+                              << " (value " << diag << ")";
+      const double ljj = std::sqrt(diag);
+      L(j, j) = ljj;
+      for (int64_t i = j + 1; i < jend; ++i) {
+        double v = L(i, j);
+        for (int64_t k = j0; k < j; ++k) v -= L(i, k) * L(j, k);
+        L(i, j) = v / ljj;
+      }
+    }
+
+    // 2. Panel solve: rows below the block against the block's transpose.
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t i = jend; i < n; ++i) {
+      for (int64_t j = j0; j < jend; ++j) {
+        double v = L(i, j);
+        for (int64_t k = j0; k < j; ++k) v -= L(i, k) * L(j, k);
+        L(i, j) = v / L(j, j);
+      }
+    }
+
+    // 3. Trailing update (lower triangle only): A[i, j] -= Σ_k L(i,k)·L(j,k)
+    //    over this panel's k — the syrk-shaped bulk of the factorization.
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t i = jend; i < n; ++i) {
+      const double* li = &l[static_cast<size_t>(i * n)];
+      for (int64_t j = jend; j <= i; ++j) {
+        const double* lj = &l[static_cast<size_t>(j * n)];
+        double s = 0.0;
+#pragma omp simd reduction(+ : s)
+        for (int64_t k = j0; k < jend; ++k) s += li[k] * lj[k];
+        L(i, j) -= s;
+      }
     }
   }
 
   Tensor out(Shape{n, n});
-  for (int64_t i = 0; i < n * n; ++i) out[i] = static_cast<float>(l[static_cast<size_t>(i)]);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      out.at(i, j) = static_cast<float>(L(i, j));
+    }
+  }
   return out;
 }
 
@@ -50,13 +102,20 @@ Tensor solve_lower(const Tensor& l, const Tensor& b) {
       << "rhs shape " << b.shape() << " incompatible with L of size " << n;
   const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
   Tensor x = b;
+  const float* pl = l.data();
+  float* px = x.data();
+  // Columns are independent forward substitutions — parallel over c, with
+  // the per-column recurrence (and its rounding) unchanged.
+  const bool par = parallel_kernels_allowed() && cols >= 8 && n >= 32;
+#pragma omp parallel for schedule(static) if (par)
   for (int64_t c = 0; c < cols; ++c) {
     for (int64_t i = 0; i < n; ++i) {
-      double v = x[i * cols + c];
+      const float* lrow = pl + i * n;
+      double v = px[i * cols + c];
       for (int64_t k = 0; k < i; ++k) {
-        v -= static_cast<double>(l.at(i, k)) * x[k * cols + c];
+        v -= static_cast<double>(lrow[k]) * px[k * cols + c];
       }
-      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+      px[i * cols + c] = static_cast<float>(v / lrow[i]);
     }
   }
   return x;
@@ -69,13 +128,17 @@ Tensor solve_lower_transposed(const Tensor& l, const Tensor& b) {
       << "rhs shape " << b.shape() << " incompatible with L of size " << n;
   const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
   Tensor x = b;
+  const float* pl = l.data();
+  float* px = x.data();
+  const bool par = parallel_kernels_allowed() && cols >= 8 && n >= 32;
+#pragma omp parallel for schedule(static) if (par)
   for (int64_t c = 0; c < cols; ++c) {
     for (int64_t i = n - 1; i >= 0; --i) {
-      double v = x[i * cols + c];
+      double v = px[i * cols + c];
       for (int64_t k = i + 1; k < n; ++k) {
-        v -= static_cast<double>(l.at(k, i)) * x[k * cols + c];
+        v -= static_cast<double>(pl[k * n + i]) * px[k * cols + c];
       }
-      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+      px[i * cols + c] = static_cast<float>(v / pl[i * n + i]);
     }
   }
   return x;

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/threading.hpp"
 
 namespace dkfac::linalg {
 
@@ -13,14 +14,25 @@ namespace {
 
 double hypot2(double x, double y) { return std::sqrt(x * x + y * y); }
 
+/// Parallelism gate shared by the eigensolver loops: the O(n²)-per-sweep
+/// inner loops only amortize a fork/join above this order.
+bool eig_parallel(int64_t n) {
+  return parallel_kernels_allowed() && n >= 96;
+}
+
 // Householder reduction of a real symmetric matrix to tridiagonal form.
 // On entry `v` holds the symmetric matrix (row-major, n×n, double). On exit
 // `v` holds the accumulated orthogonal transform, `d` the diagonal and `e`
-// the subdiagonal (e[0] unused). Translated from the public-domain EISPACK
-// routine tred2.
+// the subdiagonal (e[0] unused). Derived from the public-domain EISPACK
+// routine tred2, restructured so the O(n³) pieces — the symmetric
+// matrix–vector product, the rank-2 update, and the eigenvector
+// back-transform — parallelize over independent rows/columns. Each output
+// element is produced by exactly one thread with a fixed-order inner sum,
+// so the reduction is bitwise invariant to OMP_NUM_THREADS.
 void tred2(std::vector<double>& v, std::vector<double>& d,
            std::vector<double>& e, int64_t n) {
   auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+  const bool par = eig_parallel(n);
 
   for (int64_t j = 0; j < n; ++j) d[j] = V(n - 1, j);
 
@@ -46,17 +58,20 @@ void tred2(std::vector<double>& v, std::vector<double>& d,
       e[i] = scale * g;
       h -= f * g;
       d[i - 1] = f - g;
-      for (int64_t j = 0; j < i; ++j) e[j] = 0.0;
 
+      // e = A·d over the still-symmetric leading i×i block, which EISPACK
+      // keeps valid in the LOWER triangle only: row j left of the diagonal,
+      // column j below it. Parallel over j — every e[j] is one thread's
+      // fixed ascending-k sum. Also stashes d into column i (V(j,i) = d[j])
+      // as the original interleaved loop did.
+#pragma omp parallel for schedule(static) if (par)
       for (int64_t j = 0; j < i; ++j) {
-        f = d[j];
-        V(j, i) = f;
-        g = e[j] + V(j, j) * f;
-        for (int64_t k = j + 1; k <= i - 1; ++k) {
-          g += V(k, j) * d[k];
-          e[k] += V(k, j) * f;
-        }
-        e[j] = g;
+        const double* vrow = &v[static_cast<size_t>(j * n)];
+        double sum = 0.0;
+        for (int64_t k = 0; k <= j; ++k) sum += vrow[k] * d[k];
+        for (int64_t k = j + 1; k < i; ++k) sum += v[k * n + j] * d[k];
+        e[j] = sum;
+        V(j, i) = d[j];
       }
       f = 0.0;
       for (int64_t j = 0; j < i; ++j) {
@@ -65,10 +80,15 @@ void tred2(std::vector<double>& v, std::vector<double>& d,
       }
       const double hh = f / (h + h);
       for (int64_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+      // Symmetric rank-2 update of the lower triangle: column j is an
+      // independent strip, each element written exactly once.
+#pragma omp parallel for schedule(static) if (par)
       for (int64_t j = 0; j < i; ++j) {
-        f = d[j];
-        g = e[j];
-        for (int64_t k = j; k <= i - 1; ++k) V(k, j) -= (f * e[k] + g * d[k]);
+        const double fj = d[j];
+        const double gj = e[j];
+        for (int64_t k = j; k <= i - 1; ++k) V(k, j) -= (fj * e[k] + gj * d[k]);
+      }
+      for (int64_t j = 0; j < i; ++j) {
         d[j] = V(i - 1, j);
         V(i, j) = 0.0;
       }
@@ -76,13 +96,17 @@ void tred2(std::vector<double>& v, std::vector<double>& d,
     d[i] = h;
   }
 
-  // Accumulate transformations.
+  // Accumulate transformations (eigenvector back-transform). For each
+  // Householder vector (column i+1), every accumulated column j ≤ i is
+  // updated independently: g = Σ_k V(k,i+1)·V(k,j) then V(·,j) -= g·d —
+  // parallel over j with fixed-order sums.
   for (int64_t i = 0; i < n - 1; ++i) {
     V(n - 1, i) = V(i, i);
     V(i, i) = 1.0;
     const double h = d[i + 1];
     if (h != 0.0) {
       for (int64_t k = 0; k <= i; ++k) d[k] = V(k, i + 1) / h;
+#pragma omp parallel for schedule(static) if (par && i >= 96)
       for (int64_t j = 0; j <= i; ++j) {
         double g = 0.0;
         for (int64_t k = 0; k <= i; ++k) g += V(k, i + 1) * V(k, j);
@@ -100,7 +124,11 @@ void tred2(std::vector<double>& v, std::vector<double>& d,
 }
 
 // Implicit-shift QL iteration on the tridiagonal form produced by tred2,
-// accumulating eigenvectors into `v`. Translated from EISPACK tql2.
+// accumulating eigenvectors into `v`. Translated from EISPACK tql2. The
+// per-step Givens rotation of the eigenvector matrix is deliberately NOT
+// parallelized: at O(n) work per rotation a fork/join costs more than the
+// rotation itself at any K-FAC factor size — the parallel wins live in
+// tred2's O(i²)-per-step loops.
 void tql2(std::vector<double>& v, std::vector<double>& d,
           std::vector<double>& e, int64_t n) {
   auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
@@ -157,9 +185,10 @@ void tql2(std::vector<double>& v, std::vector<double>& d,
           d[i + 1] = h + s * (c * g + s * d[i]);
 
           for (int64_t k = 0; k < n; ++k) {
-            h = V(k, i + 1);
-            V(k, i + 1) = s * V(k, i) + c * h;
-            V(k, i) = c * V(k, i) - s * h;
+            const double vk1 = V(k, i + 1);
+            const double vk0 = V(k, i);
+            V(k, i + 1) = s * vk0 + c * vk1;
+            V(k, i) = c * vk0 - s * vk1;
           }
         }
         p = -s * s2 * c3 * el1 * e[l] / dl1;

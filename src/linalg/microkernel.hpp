@@ -1,0 +1,142 @@
+// Register-blocked GEMM micro-kernel (Goto/BLIS-style innermost loop).
+//
+// The macro-kernel in blas.cpp feeds packed, transpose-normalized panels
+// (see pack.hpp) to one of two interchangeable micro-kernels that compute a
+// kMR×kNR accumulator tile over a KC-long k-slab:
+//
+//   - an AVX2/FMA intrinsics kernel (6×16 tile = 12 ymm accumulators, the
+//     classic fp32 shape that saturates both FMA ports), compiled when the
+//     translation unit is built with -mavx2 -mfma (CMake option
+//     DKFAC_NATIVE_ARCH), and
+//   - a portable `#pragma omp simd` fallback with the identical accumulation
+//     pattern, used on builds without those ISA extensions.
+//
+// Both kernels accumulate every output element strictly in ascending-k
+// order, so a given build produces bitwise-identical results regardless of
+// OMP_NUM_THREADS (threads only partition *which* tiles they compute, never
+// the per-element reduction order). The two kernels are NOT bitwise
+// identical to each other — FMA contracts the multiply-add — which is fine:
+// determinism is per build, not across ISAs.
+//
+// Everything here is `static inline` on purpose: a TU compiled without AVX2
+// (e.g. a test exercising the portable path) must get its own portable copy
+// rather than linking against the library's AVX2 instance.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define DKFAC_MICROKERNEL_AVX2 1
+#endif
+
+namespace dkfac::linalg::detail {
+
+/// Micro-tile rows (broadcast dimension of the packed A sliver).
+inline constexpr int64_t kMR = 6;
+/// Micro-tile columns (vector dimension of the packed B sliver).
+inline constexpr int64_t kNR = 16;
+
+/// Cache blocking: MC×KC A-panels (per thread, ~96 KB → L2) and KC×NC
+/// B-panels (~1 MB → L3), KC deep enough to amortize the tile load/store.
+inline constexpr int64_t kMC = 96;
+inline constexpr int64_t kKC = 256;
+inline constexpr int64_t kNC = 1024;
+
+/// acc[r*kNR + c] += Σ_k ap[k*kMR + r] · bp[k*kNR + c], k ascending.
+/// `ap` is an A sliver (kMR floats per k step), `bp` a B sliver (kNR floats
+/// per k step); both are padded with zeros past the valid rows/columns.
+[[maybe_unused]] static inline void microkernel_portable(int64_t kc,
+                                                         const float* ap,
+                                                         const float* bp,
+                                                         float* acc) {
+  for (int64_t k = 0; k < kc; ++k) {
+    const float* a = ap + k * kMR;
+    const float* b = bp + k * kNR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      float* row = acc + r * kNR;
+#pragma omp simd
+      for (int64_t c = 0; c < kNR; ++c) row[c] += av * b[c];
+    }
+  }
+}
+
+#ifdef DKFAC_MICROKERNEL_AVX2
+/// AVX2/FMA instance of the same accumulation: 6 broadcast rows × two
+/// 8-float vectors = 12 live ymm accumulators + 2 B vectors + 1 broadcast.
+[[maybe_unused]] static inline void microkernel_avx2(int64_t kc,
+                                                     const float* ap,
+                                                     const float* bp,
+                                                     float* acc) {
+  __m256 c00 = _mm256_loadu_ps(acc + 0 * kNR);
+  __m256 c01 = _mm256_loadu_ps(acc + 0 * kNR + 8);
+  __m256 c10 = _mm256_loadu_ps(acc + 1 * kNR);
+  __m256 c11 = _mm256_loadu_ps(acc + 1 * kNR + 8);
+  __m256 c20 = _mm256_loadu_ps(acc + 2 * kNR);
+  __m256 c21 = _mm256_loadu_ps(acc + 2 * kNR + 8);
+  __m256 c30 = _mm256_loadu_ps(acc + 3 * kNR);
+  __m256 c31 = _mm256_loadu_ps(acc + 3 * kNR + 8);
+  __m256 c40 = _mm256_loadu_ps(acc + 4 * kNR);
+  __m256 c41 = _mm256_loadu_ps(acc + 4 * kNR + 8);
+  __m256 c50 = _mm256_loadu_ps(acc + 5 * kNR);
+  __m256 c51 = _mm256_loadu_ps(acc + 5 * kNR + 8);
+  for (int64_t k = 0; k < kc; ++k) {
+    const float* a = ap + k * kMR;
+    const float* b = bp + k * kNR;
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    __m256 av = _mm256_broadcast_ss(a + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(a + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(a + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(a + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_broadcast_ss(a + 4);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_broadcast_ss(a + 5);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+  }
+  _mm256_storeu_ps(acc + 0 * kNR, c00);
+  _mm256_storeu_ps(acc + 0 * kNR + 8, c01);
+  _mm256_storeu_ps(acc + 1 * kNR, c10);
+  _mm256_storeu_ps(acc + 1 * kNR + 8, c11);
+  _mm256_storeu_ps(acc + 2 * kNR, c20);
+  _mm256_storeu_ps(acc + 2 * kNR + 8, c21);
+  _mm256_storeu_ps(acc + 3 * kNR, c30);
+  _mm256_storeu_ps(acc + 3 * kNR + 8, c31);
+  _mm256_storeu_ps(acc + 4 * kNR, c40);
+  _mm256_storeu_ps(acc + 4 * kNR + 8, c41);
+  _mm256_storeu_ps(acc + 5 * kNR, c50);
+  _mm256_storeu_ps(acc + 5 * kNR + 8, c51);
+}
+#endif  // DKFAC_MICROKERNEL_AVX2
+
+/// The micro-kernel this TU's build flags select.
+[[maybe_unused]] static inline void microkernel(int64_t kc, const float* ap,
+                                                const float* bp, float* acc) {
+#ifdef DKFAC_MICROKERNEL_AVX2
+  microkernel_avx2(kc, ap, bp, acc);
+#else
+  microkernel_portable(kc, ap, bp, acc);
+#endif
+}
+
+/// True when this TU was compiled with the AVX2/FMA micro-kernel.
+[[maybe_unused]] static inline bool microkernel_is_avx2() {
+#ifdef DKFAC_MICROKERNEL_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dkfac::linalg::detail

@@ -1,0 +1,21 @@
+#include "linalg/threading.hpp"
+
+#include <omp.h>
+
+namespace dkfac::linalg {
+
+namespace {
+thread_local bool serial_kernels = false;
+}  // namespace
+
+bool parallel_kernels_allowed() {
+  return !serial_kernels && omp_in_parallel() == 0;
+}
+
+SerialKernelScope::SerialKernelScope() : previous_(serial_kernels) {
+  serial_kernels = true;
+}
+
+SerialKernelScope::~SerialKernelScope() { serial_kernels = previous_; }
+
+}  // namespace dkfac::linalg

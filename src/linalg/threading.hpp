@@ -1,0 +1,37 @@
+// Thread-level gating for the linalg kernels' OpenMP parallelism.
+//
+// The kernels are called from three kinds of threads: the main training
+// thread (parallelism wanted), ThreadComm rank threads that already sized
+// their OMP team via omp_threads_per_rank (parallelism wanted, team already
+// capped), and background workers such as comm::AsyncExecutor's thread that
+// run concurrently WITH the main thread's OMP team (parallelism here would
+// oversubscribe the machine). Kernels ask parallel_kernels_allowed() before
+// opening a parallel region; SerialKernelScope marks the current thread as
+// one whose kernels must stay serial.
+//
+// This is purely a scheduling decision: every kernel accumulates each
+// output element in a fixed order, so serial and parallel execution are
+// bitwise identical.
+#pragma once
+
+namespace dkfac::linalg {
+
+/// True when a linalg kernel on this thread may open an OpenMP parallel
+/// region: not inside SerialKernelScope and not already inside an active
+/// parallel region (a nested team would oversubscribe, not speed up).
+bool parallel_kernels_allowed();
+
+/// RAII marker: while alive, linalg kernels invoked on this thread run
+/// serially. Nests safely (restores the previous state on destruction).
+class SerialKernelScope {
+ public:
+  SerialKernelScope();
+  ~SerialKernelScope();
+  SerialKernelScope(const SerialKernelScope&) = delete;
+  SerialKernelScope& operator=(const SerialKernelScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace dkfac::linalg

@@ -10,6 +10,7 @@ namespace dkfac::nn {
 
 using linalg::gemm;
 using linalg::matmul;
+using linalg::syrk;
 using linalg::Trans;
 
 int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
@@ -186,10 +187,11 @@ Tensor Conv2d::kfac_a_factor() const {
   DKFAC_CHECK(has_batch_) << name_ << ": no forward pass captured for A factor";
   const int64_t rows = patches_.dim(0);  // N·OH·OW
   const int64_t d = kfac_a_dim();
+  // A = E[ã ãᵀ] is a Gram matrix — syrk computes the upper triangle only
+  // (~half the flops) and mirrors, so the factor is exactly symmetric.
   Tensor a(Shape{d, d});
   if (!spec_.bias) {
-    gemm(1.0f / static_cast<float>(rows), patches_, Trans::kYes, patches_,
-         Trans::kNo, 0.0f, a);
+    syrk(1.0f / static_cast<float>(rows), patches_, Trans::kYes, 0.0f, a);
     return a;
   }
   Tensor augmented(Shape{rows, d});
@@ -199,8 +201,7 @@ Tensor Conv2d::kfac_a_factor() const {
     std::copy(src, src + patch_dim_, dst);
     dst[patch_dim_] = 1.0f;
   }
-  gemm(1.0f / static_cast<float>(rows), augmented, Trans::kYes, augmented,
-       Trans::kNo, 0.0f, a);
+  syrk(1.0f / static_cast<float>(rows), augmented, Trans::kYes, 0.0f, a);
   return a;
 }
 
@@ -214,7 +215,7 @@ Tensor Conv2d::kfac_g_factor() const {
   const float scale = static_cast<float>(n) * static_cast<float>(n) /
                       static_cast<float>(rows);
   Tensor g(Shape{oc, oc});
-  gemm(scale, grad_rows_, Trans::kYes, grad_rows_, Trans::kNo, 0.0f, g);
+  syrk(scale, grad_rows_, Trans::kYes, 0.0f, g);
   return g;
 }
 

@@ -8,6 +8,7 @@ namespace dkfac::nn {
 
 using linalg::gemm;
 using linalg::matmul;
+using linalg::syrk;
 using linalg::Trans;
 
 Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng,
@@ -75,11 +76,11 @@ Tensor Linear::kfac_a_factor() const {
   DKFAC_CHECK(has_batch_) << name_ << ": no forward pass captured for A factor";
   const int64_t n = input_.dim(0);
   const int64_t d = kfac_a_dim();
-  // A = E[ã ãᵀ] over the batch, ã = [x, 1] when the layer has a bias.
+  // A = E[ã ãᵀ] over the batch, ã = [x, 1] when the layer has a bias — a
+  // Gram matrix, so syrk computes only the upper triangle and mirrors.
   Tensor a(Shape{d, d});
   if (!bias_) {
-    gemm(1.0f / static_cast<float>(n), input_, Trans::kYes, input_, Trans::kNo,
-         0.0f, a);
+    syrk(1.0f / static_cast<float>(n), input_, Trans::kYes, 0.0f, a);
     return a;
   }
   Tensor augmented(Shape{n, d});
@@ -89,8 +90,7 @@ Tensor Linear::kfac_a_factor() const {
     std::copy(src, src + in_features_, dst);
     dst[in_features_] = 1.0f;
   }
-  gemm(1.0f / static_cast<float>(n), augmented, Trans::kYes, augmented,
-       Trans::kNo, 0.0f, a);
+  syrk(1.0f / static_cast<float>(n), augmented, Trans::kYes, 0.0f, a);
   return a;
 }
 
@@ -100,8 +100,7 @@ Tensor Linear::kfac_g_factor() const {
   // The loss is a batch mean, so per-sample output gradients are N·g_i;
   // G = E[(N·g)(N·g)ᵀ] = N · gᵀg  (matching kfac_pytorch's scaling).
   Tensor g(Shape{out_features_, out_features_});
-  gemm(static_cast<float>(n), grad_output_, Trans::kYes, grad_output_,
-       Trans::kNo, 0.0f, g);
+  syrk(static_cast<float>(n), grad_output_, Trans::kYes, 0.0f, g);
   return g;
 }
 

@@ -1,0 +1,435 @@
+// Property tests for the packed micro-kernel linalg rewrite: gemm/syrk vs a
+// naive double-precision reference across all four transpose combinations
+// and awkward (odd/prime) sizes, alpha/beta edge cases, IEEE NaN/Inf
+// propagation (the legacy `aval == 0 → skip` fast-path regression), bitwise
+// syrk ≡ gemm agreement, and bitwise invariance of every kernel to
+// OMP_NUM_THREADS. This TU is compiled WITHOUT the native-arch flags, so
+// including microkernel.hpp/pack.hpp here also exercises the portable
+// fallback micro-kernel in CI even when the library itself uses AVX2.
+#include <omp.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/microkernel.hpp"
+#include "linalg/pack.hpp"
+#include "linalg/threading.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::linalg {
+namespace {
+
+// ---- reference implementations -------------------------------------------
+
+float op_at(const Tensor& t, Trans trans, int64_t i, int64_t j) {
+  return trans == Trans::kNo ? t.at(i, j) : t.at(j, i);
+}
+
+/// Naive triple loop in double; `c` must already hold the beta·C term.
+Tensor reference_gemm(float alpha, const Tensor& a, Trans trans_a,
+                      const Tensor& b, Trans trans_b, float beta,
+                      const Tensor& c_in) {
+  const int64_t m = trans_a == Trans::kNo ? a.dim(0) : a.dim(1);
+  const int64_t k = trans_a == Trans::kNo ? a.dim(1) : a.dim(0);
+  const int64_t n = trans_b == Trans::kNo ? b.dim(1) : b.dim(0);
+  Tensor c(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(op_at(a, trans_a, i, kk)) *
+               op_at(b, trans_b, kk, j);
+      }
+      const double base = beta == 0.0f ? 0.0 : beta * static_cast<double>(c_in.at(i, j));
+      c.at(i, j) = static_cast<float>(alpha * acc + base);
+    }
+  }
+  return c;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Relative tolerance scaled by the reduction depth: the packed kernel
+/// accumulates in fp32 (blocked order), the reference in double.
+void expect_close(const Tensor& got, const Tensor& want, int64_t k) {
+  ASSERT_EQ(got.shape(), want.shape());
+  const float tol = 1e-5f * static_cast<float>(std::max<int64_t>(k, 1));
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    const float scale = std::max(1.0f, std::abs(want[i]));
+    ASSERT_NEAR(got[i], want[i], tol * scale) << "element " << i;
+  }
+}
+
+/// Runs `fn` under OMP_NUM_THREADS = t for each t, asserting the outputs
+/// are bitwise identical to the single-thread run.
+template <typename Fn>
+void expect_thread_invariant(Fn&& fn, const char* what) {
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const Tensor baseline = fn();
+  for (int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    const Tensor run = fn();
+    EXPECT_TRUE(bitwise_equal(run, baseline))
+        << what << " differs between 1 and " << threads << " threads";
+  }
+  omp_set_num_threads(original);
+}
+
+// ---- gemm vs reference ----------------------------------------------------
+
+struct GemmCase {
+  int64_t m, k, n;
+};
+
+class GemmAllTrans : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmAllTrans, MatchesNaiveReferenceForAllTransCombos) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  for (Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (Trans tb : {Trans::kNo, Trans::kYes}) {
+      const Tensor a = ta == Trans::kNo ? Tensor::randn(Shape{m, k}, rng)
+                                        : Tensor::randn(Shape{k, m}, rng);
+      const Tensor b = tb == Trans::kNo ? Tensor::randn(Shape{k, n}, rng)
+                                        : Tensor::randn(Shape{n, k}, rng);
+      for (const auto [alpha, beta] :
+           {std::pair{1.0f, 0.0f}, {1.0f, 1.0f}, {-1.0f, 0.5f}, {0.5f, -1.0f},
+            {0.0f, 0.5f}}) {
+        Tensor c = Tensor::randn(Shape{m, n}, rng);
+        const Tensor want = reference_gemm(alpha, a, ta, b, tb, beta, c);
+        gemm(alpha, a, ta, b, tb, beta, c);
+        expect_close(c, want, k);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddPrimeSizes, GemmAllTrans,
+    ::testing::Values(GemmCase{1, 1, 1}, GemmCase{2, 3, 5}, GemmCase{7, 1, 13},
+                      GemmCase{6, 16, 17},   // exactly one micro-tile + 1
+                      GemmCase{17, 31, 19},  // primes straddling kMR/kNR
+                      GemmCase{97, 113, 89},
+                      GemmCase{64, 300, 1},  // gemv-shaped degenerate n
+                      GemmCase{1, 257, 33},  // k crosses the KC=256 boundary
+                      GemmCase{130, 270, 110}));
+
+TEST(GemmEdges, BetaZeroOverwritesStaleNaN) {
+  // BLAS rule: beta == 0 must not read C — stale NaN may never leak through.
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {5, 6, 7, 8});
+  Tensor c(Shape{2, 2});
+  c.fill_(std::numeric_limits<float>::quiet_NaN());
+  gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FALSE(std::isnan(c[i]));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+}
+
+TEST(GemmEdges, AlphaZeroSkipsProductEntirely) {
+  // alpha == 0: A and B are not referenced (BLAS), even if they hold NaN.
+  Tensor a(Shape{2, 2});
+  a.fill_(std::numeric_limits<float>::quiet_NaN());
+  Tensor b = a;
+  Tensor c(Shape{2, 2}, {1, 2, 3, 4});
+  gemm(0.0f, a, Trans::kNo, b, Trans::kNo, 0.5f, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 2.0f);
+}
+
+// Regression for the legacy `if (aval == 0.0f) continue;` fast-path, which
+// silently dropped NaN/Inf propagation from B wherever A held a zero.
+TEST(GemmEdges, ZeroTimesNaNPropagates) {
+  Tensor a = Tensor::zeros(Shape{3, 3});
+  Tensor b(Shape{3, 3});
+  b.fill_(std::numeric_limits<float>::quiet_NaN());
+  Tensor c(Shape{3, 3});
+  gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(c[i])) << "0·NaN must be NaN, element " << i;
+  }
+}
+
+TEST(GemmEdges, ZeroTimesInfPropagatesAsNaN) {
+  // One zero row in A against an Inf column in B: 0·Inf = NaN by IEEE.
+  Tensor a(Shape{2, 2}, {0, 0, 1, 1});
+  Tensor b(Shape{2, 2}, {std::numeric_limits<float>::infinity(), 1, 2, 3});
+  Tensor c(Shape{2, 2});
+  gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));
+  EXPECT_TRUE(std::isinf(c.at(1, 0)));
+  EXPECT_FLOAT_EQ(c.at(0, 1), 0.0f);
+}
+
+// ---- syrk -----------------------------------------------------------------
+
+TEST(Syrk, BitwiseMatchesGemmTransposedGram) {
+  // syrk(αAᵀA) must equal gemm(α, Aᵀ, A) bit for bit: same packing, same
+  // blocking, same per-element accumulation order, and the mirrored lower
+  // triangle matches because fp multiply/FMA commute bitwise.
+  for (auto [rows, d] : {std::pair<int64_t, int64_t>{5, 3},
+                         {64, 17}, {300, 33}, {257, 96}}) {
+    Rng rng(static_cast<uint64_t>(rows * 131 + d));
+    Tensor a = Tensor::randn(Shape{rows, d}, rng);
+    Tensor via_gemm(Shape{d, d});
+    gemm(1.0f / rows, a, Trans::kYes, a, Trans::kNo, 0.0f, via_gemm);
+    Tensor via_syrk(Shape{d, d});
+    syrk(1.0f / rows, a, Trans::kYes, 0.0f, via_syrk);
+    EXPECT_TRUE(bitwise_equal(via_syrk, via_gemm))
+        << "syrk != gemm for [" << rows << ", " << d << "]";
+  }
+}
+
+TEST(Syrk, BitwiseMatchesGemmNoTransGram) {
+  // The AAᵀ orientation.
+  for (auto [d, cols] : {std::pair<int64_t, int64_t>{7, 29}, {33, 128}}) {
+    Rng rng(static_cast<uint64_t>(d * 7 + cols));
+    Tensor a = Tensor::randn(Shape{d, cols}, rng);
+    Tensor via_gemm(Shape{d, d});
+    gemm(2.0f, a, Trans::kNo, a, Trans::kYes, 0.0f, via_gemm);
+    Tensor via_syrk(Shape{d, d});
+    syrk(2.0f, a, Trans::kNo, 0.0f, via_syrk);
+    EXPECT_TRUE(bitwise_equal(via_syrk, via_gemm));
+  }
+}
+
+TEST(Syrk, OutputIsExactlySymmetric) {
+  Rng rng(42);
+  Tensor a = Tensor::randn(Shape{111, 37}, rng);
+  Tensor c(Shape{37, 37});
+  syrk(1.0f, a, Trans::kYes, 0.0f, c);
+  EXPECT_EQ(asymmetry(c), 0.0f);
+}
+
+TEST(Syrk, AlphaBetaEdgeCases) {
+  Rng rng(43);
+  Tensor a = Tensor::randn(Shape{29, 11}, rng);
+  // Symmetric C so the documented beta convention (lower = mirror of upper)
+  // agrees with plain elementwise beta·C.
+  Tensor m = Tensor::randn(Shape{11, 11}, rng);
+  Tensor c0(Shape{11, 11});
+  syrk(1.0f, m, Trans::kYes, 0.0f, c0);  // SPD-ish symmetric base
+
+  for (const auto [alpha, beta] :
+       {std::pair{1.0f, 1.0f}, {-1.0f, 0.5f}, {0.0f, -1.0f}, {0.5f, 0.0f}}) {
+    Tensor c = c0;
+    const Tensor want = reference_gemm(alpha, a, Trans::kYes, a, Trans::kNo,
+                                       beta, c0);
+    syrk(alpha, a, Trans::kYes, beta, c);
+    expect_close(c, want, a.dim(0));
+    EXPECT_EQ(asymmetry(c), 0.0f);
+  }
+}
+
+TEST(Syrk, BetaZeroOverwritesStaleNaN) {
+  Rng rng(44);
+  Tensor a = Tensor::randn(Shape{13, 7}, rng);
+  Tensor c(Shape{7, 7});
+  c.fill_(std::numeric_limits<float>::quiet_NaN());
+  syrk(1.0f, a, Trans::kYes, 0.0f, c);
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_FALSE(std::isnan(c[i]));
+}
+
+TEST(Syrk, ShapeMismatchThrows) {
+  Tensor a(Shape{5, 3});
+  Tensor bad(Shape{5, 5});
+  EXPECT_THROW(syrk(1.0f, a, Trans::kYes, 0.0f, bad), Error);  // wants 3×3
+  Tensor good(Shape{3, 3});
+  EXPECT_NO_THROW(syrk(1.0f, a, Trans::kYes, 0.0f, good));
+  EXPECT_THROW(syrk(1.0f, a, Trans::kNo, 0.0f, good), Error);  // wants 5×5
+}
+
+// ---- gemv / transpose -----------------------------------------------------
+
+TEST(GemvKernel, MatchesReferenceBothOrientations) {
+  Rng rng(45);
+  for (auto [m, k] : {std::pair<int64_t, int64_t>{3, 5}, {97, 113}, {300, 41}}) {
+    Tensor a = Tensor::randn(Shape{m, k}, rng);
+    Tensor x = Tensor::randn(Shape{k}, rng);
+    Tensor xt = Tensor::randn(Shape{m}, rng);
+    Tensor y = Tensor::randn(Shape{m}, rng);
+    Tensor yt = Tensor::randn(Shape{k}, rng);
+    const Tensor y0 = y;
+    const Tensor yt0 = yt;
+
+    gemv(2.0f, a, Trans::kNo, x, 0.5f, y);
+    gemv(-1.0f, a, Trans::kYes, xt, 1.0f, yt);
+    for (int64_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < k; ++j) acc += static_cast<double>(a.at(i, j)) * x[j];
+      EXPECT_NEAR(y[i], 2.0f * acc + 0.5f * y0[i], 1e-4 * (1.0 + std::abs(acc)));
+    }
+    for (int64_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < m; ++i) acc += static_cast<double>(a.at(i, j)) * xt[i];
+      EXPECT_NEAR(yt[j], -acc + yt0[j], 1e-4 * (1.0 + std::abs(acc)));
+    }
+  }
+}
+
+TEST(GemvKernel, BetaZeroOverwritesStaleNaN) {
+  Rng rng(46);
+  Tensor a = Tensor::randn(Shape{4, 3}, rng);
+  Tensor x = Tensor::randn(Shape{3}, rng);
+  Tensor y(Shape{4});
+  y.fill_(std::numeric_limits<float>::quiet_NaN());
+  gemv(1.0f, a, Trans::kNo, x, 0.0f, y);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FALSE(std::isnan(y[i]));
+  Tensor yt(Shape{3});
+  yt.fill_(std::numeric_limits<float>::quiet_NaN());
+  gemv(1.0f, a, Trans::kYes, Tensor::randn(Shape{4}, rng), 0.0f, yt);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FALSE(std::isnan(yt[i]));
+}
+
+// ---- portable micro-kernel (fallback path in CI) --------------------------
+
+TEST(PortableMicrokernel, PackAndAccumulateMatchReference) {
+  // This TU is normally built without -mavx2/-mfma, so detail::microkernel
+  // here IS the portable fallback — packing + accumulation are validated
+  // against a naive dot product even when the library runs the AVX2
+  // instance. Global flags (e.g. CMAKE_CXX_FLAGS=-march=native) can make
+  // this TU compile the AVX2 kernel instead; then there is no portable
+  // instance in the build to test.
+  if (detail::microkernel_is_avx2()) {
+    GTEST_SKIP() << "test TU compiled with AVX2 — portable path not present";
+  }
+  using detail::kMR;
+  using detail::kNR;
+  const int64_t m = 5, n = 13, k = 37;  // partial tiles in both directions
+  Rng rng(47);
+  Tensor a = Tensor::randn(Shape{k, m}, rng);  // packed as op(A) = Aᵀ
+  Tensor b = Tensor::randn(Shape{k, n}, rng);
+
+  const detail::OpView av{a.data(), a.dim(1), /*trans=*/true};
+  const detail::OpView bv{b.data(), b.dim(1), /*trans=*/false};
+  std::vector<float> apack(static_cast<size_t>(kMR * k));
+  std::vector<float> bpack(static_cast<size_t>(kNR * k));
+  detail::pack_a(av, 0, m, 0, k, apack.data());
+  detail::pack_b(bv, 0, k, 0, n, bpack.data());
+
+  float acc[kMR * kNR] = {};
+  detail::microkernel(k, apack.data(), bpack.data(), acc);
+
+  for (int64_t r = 0; r < m; ++r) {
+    for (int64_t c = 0; c < n; ++c) {
+      double want = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        want += static_cast<double>(a.at(kk, r)) * b.at(kk, c);
+      }
+      EXPECT_NEAR(acc[r * kNR + c], want, 1e-4 * (1.0 + std::abs(want)));
+    }
+  }
+  // Padded rows/columns must stay exactly zero (0·0 contributions only).
+  for (int64_t r = m; r < kMR; ++r) {
+    for (int64_t c = 0; c < kNR; ++c) EXPECT_EQ(acc[r * kNR + c], 0.0f);
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t c = n; c < kNR; ++c) EXPECT_EQ(acc[r * kNR + c], 0.0f);
+  }
+}
+
+// ---- bitwise determinism across thread counts -----------------------------
+
+TEST(ThreadInvariance, GemmAllTransCombos) {
+  Rng rng(48);
+  const Tensor a = Tensor::randn(Shape{130, 97}, rng);
+  const Tensor b = Tensor::randn(Shape{97, 110}, rng);
+  const Tensor at = transpose(a);
+  const Tensor bt = transpose(b);
+  expect_thread_invariant([&] { return matmul(a, b); }, "gemm NN");
+  expect_thread_invariant([&] { return matmul(at, b, Trans::kYes, Trans::kNo); },
+                          "gemm TN");
+  expect_thread_invariant([&] { return matmul(a, bt, Trans::kNo, Trans::kYes); },
+                          "gemm NT");
+  expect_thread_invariant(
+      [&] { return matmul(at, bt, Trans::kYes, Trans::kYes); }, "gemm TT");
+}
+
+TEST(ThreadInvariance, SyrkGemvTranspose) {
+  Rng rng(49);
+  const Tensor a = Tensor::randn(Shape{301, 65}, rng);
+  const Tensor x = Tensor::randn(Shape{65}, rng);
+  const Tensor xt = Tensor::randn(Shape{301}, rng);
+  expect_thread_invariant(
+      [&] {
+        Tensor c(Shape{65, 65});
+        syrk(1.0f / 301, a, Trans::kYes, 0.0f, c);
+        return c;
+      },
+      "syrk");
+  expect_thread_invariant(
+      [&] {
+        Tensor y(Shape{301});
+        gemv(1.0f, a, Trans::kNo, x, 0.0f, y);
+        return y;
+      },
+      "gemv N");
+  expect_thread_invariant(
+      [&] {
+        Tensor y(Shape{65});
+        gemv(1.0f, a, Trans::kYes, xt, 0.0f, y);
+        return y;
+      },
+      "gemv T");
+  expect_thread_invariant([&] { return transpose(a); }, "transpose");
+}
+
+TEST(ThreadInvariance, CholeskyAndSolves) {
+  Rng rng(50);
+  const int64_t n = 160;  // above the kernels' parallel thresholds
+  Tensor m = Tensor::randn(Shape{n, n}, rng);
+  Tensor spd(Shape{n, n});
+  syrk(1.0f, m, Trans::kYes, 0.0f, spd);
+  add_diagonal(spd, 0.5f);
+  expect_thread_invariant([&] { return cholesky(spd); }, "cholesky");
+  expect_thread_invariant([&] { return spd_inverse(spd); }, "spd_inverse");
+}
+
+TEST(ThreadInvariance, SymmetricEigensolve) {
+  Rng rng(51);
+  const int64_t n = 200;  // engages tred2 and tql2 parallel paths
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  symmetrize(a);
+  expect_thread_invariant(
+      [&] {
+        SymEig e = sym_eig(a);
+        Tensor packed(Shape{n + n * n});
+        std::memcpy(packed.data(), e.values.data(),
+                    static_cast<size_t>(n) * sizeof(float));
+        std::memcpy(packed.data() + n, e.vectors.data(),
+                    static_cast<size_t>(n * n) * sizeof(float));
+        return packed;
+      },
+      "sym_eig");
+}
+
+TEST(ThreadInvariance, SerialKernelScopeMatchesParallel) {
+  // The AsyncExecutor worker runs kernels under SerialKernelScope; results
+  // must be bitwise identical to the parallel path.
+  Rng rng(52);
+  const Tensor a = Tensor::randn(Shape{140, 90}, rng);
+  const Tensor b = Tensor::randn(Shape{90, 120}, rng);
+  const Tensor parallel = matmul(a, b);
+  ASSERT_TRUE(parallel_kernels_allowed());
+  {
+    SerialKernelScope scope;
+    EXPECT_FALSE(parallel_kernels_allowed());
+    const Tensor serial = matmul(a, b);
+    EXPECT_TRUE(bitwise_equal(serial, parallel));
+  }
+  EXPECT_TRUE(parallel_kernels_allowed());
+}
+
+}  // namespace
+}  // namespace dkfac::linalg
