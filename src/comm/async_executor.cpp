@@ -36,11 +36,10 @@ AsyncExecutor::~AsyncExecutor() {
   worker_.join();
 }
 
-void AsyncExecutor::submit(std::span<float> view, ReduceOp op,
-                           Precision precision) {
+void AsyncExecutor::submit(const BufferView& view, ReduceOp op) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Item{view, op, precision, /*flush=*/false, ++next_ticket_});
+    queue_.push_back(Item{view, op, /*flush=*/false, ++next_ticket_});
     ++stats_.submitted;
   }
   work_ready_.notify_one();
@@ -50,8 +49,7 @@ void AsyncExecutor::wait() {
   const auto start = Clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const uint64_t ticket = ++next_ticket_;
-  queue_.push_back(
-      Item{{}, ReduceOp::kSum, Precision::kFp32, /*flush=*/true, ticket});
+  queue_.push_back(Item{{}, ReduceOp::kSum, /*flush=*/true, ticket});
   work_ready_.notify_one();
   ticket_done_.wait(lock, [&] { return completed_ticket_ >= ticket; });
   stats_.wait_seconds += seconds_since(start);
@@ -82,7 +80,7 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
   }
   if (!failed) {
     try {
-      for (const Item& item : batch) fusion_.add(item.view, item.precision);
+      for (const Item& item : batch) fusion_.add(item.view);
       const auto start = Clock::now();
       fusion_.execute(batch.front().op);
       const double elapsed = seconds_since(start);
@@ -137,7 +135,7 @@ void AsyncExecutor::worker_loop() {
 
     if (!batch.empty() &&
         (item.op != batch.front().op ||
-         item.precision != batch.front().precision ||
+         item.view.precision() != batch.front().view.precision() ||
          batch_bytes + item.view.size_bytes() > capacity_bytes_)) {
       execute_batch(batch, batch_bytes);
     }

@@ -75,14 +75,23 @@ class AsyncExecutor {
   AsyncExecutor(const AsyncExecutor&) = delete;
   AsyncExecutor& operator=(const AsyncExecutor&) = delete;
 
-  /// Enqueues one allreduce. The view must stay valid until wait() (or the
-  /// destructor) returns. Cheap: no collective runs on the calling thread.
-  /// `precision` declares the view's wire format (kFp16/kBf16 for a
+  /// Enqueues one allreduce. The view's memory must stay valid until
+  /// wait() (or the destructor) returns; arena-backed views are
+  /// epoch-checked when the worker touches them, so a view whose arena was
+  /// reset mid-flight surfaces as the sticky error at the next wait().
+  /// Cheap: no collective runs on the calling thread. The view's
+  /// precision tag declares its wire format (kFp16/kBf16 for a
   /// comm::Codec bit-packed payload); like an op change, a precision
   /// change is a deterministic batch boundary, so each fused collective
   /// stays uniform.
+  void submit(const BufferView& view, ReduceOp op);
   void submit(std::span<float> view, ReduceOp op,
-              Precision precision = Precision::kFp32);
+              Precision precision = Precision::kFp32) {
+    submit(BufferView(view, precision,
+                      precision == Precision::kFp32 ? BufferLayout::kDense
+                                                    : BufferLayout::kEncoded),
+           op);
+  }
   void submit(Tensor& t, ReduceOp op) { submit(t.span(), op); }
 
   /// Blocks until every prior submission has been reduced and written
@@ -97,11 +106,14 @@ class AsyncExecutor {
   using Stats = AsyncCommStats;
   Stats stats() const;
 
+  /// Declares warm-up over for the internal fusion staging arena.
+  void mark_steady_state() { fusion_.mark_steady_state(); }
+  ArenaStats arena_stats() const { return fusion_.arena_stats(); }
+
  private:
   struct Item {
-    std::span<float> view;
+    BufferView view;
     ReduceOp op = ReduceOp::kSum;
-    Precision precision = Precision::kFp32;
     bool flush = false;
     uint64_t ticket = 0;
   };

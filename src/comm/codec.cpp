@@ -122,6 +122,11 @@ float Codec::decode_bf16(uint16_t bits) {
 
 namespace {
 
+// Iteration direction carries the in-place contract (see codec.hpp):
+// encode walks forward with dst at or below src, decode walks backward
+// with dst at or above src. Both loops read each transport word in full
+// before writing anything that could alias it.
+
 template <uint16_t (*EncodeOne)(float)>
 void encode_buffer(std::span<const float> src, std::span<float> dst) {
   const size_t n = src.size();
@@ -140,15 +145,24 @@ template <float (*DecodeOne)(uint16_t)>
 void decode_buffer(std::span<const float> src, std::span<float> dst) {
   const size_t n = dst.size();
   const size_t pairs = n / 2;
-  for (size_t i = 0; i < pairs; ++i) {
+  if (n & 1) {
+    // Odd tail first: it sits highest, so expanding it cannot disturb any
+    // word a later (lower) iteration still needs.
+    const uint32_t word = std::bit_cast<uint32_t>(src[pairs]);
+    dst[n - 1] = DecodeOne(static_cast<uint16_t>(word & 0xFFFFu));
+  }
+  for (size_t i = pairs; i-- > 0;) {
     const uint32_t word = std::bit_cast<uint32_t>(src[i]);
     dst[2 * i] = DecodeOne(static_cast<uint16_t>(word & 0xFFFFu));
     dst[2 * i + 1] = DecodeOne(static_cast<uint16_t>(word >> 16));
   }
-  if (n & 1) {
-    const uint32_t word = std::bit_cast<uint32_t>(src[pairs]);
-    dst[n - 1] = DecodeOne(static_cast<uint16_t>(word & 0xFFFFu));
-  }
+}
+
+/// True when [a, a+an) and [b, b+bn) share any float.
+bool spans_overlap(const float* a, size_t an, const float* b, size_t bn) {
+  const auto lo_a = reinterpret_cast<uintptr_t>(a);
+  const auto lo_b = reinterpret_cast<uintptr_t>(b);
+  return lo_a < lo_b + bn * sizeof(float) && lo_b < lo_a + an * sizeof(float);
 }
 
 }  // namespace
@@ -162,6 +176,12 @@ void Codec::encode(std::span<const float> src, std::span<float> dst,
       << "encode buffer mismatch: " << src.size() << " elements need "
       << encoded_floats(static_cast<int64_t>(src.size()))
       << " transport floats, got " << dst.size();
+  if (spans_overlap(src.data(), src.size(), dst.data(), dst.size())) {
+    DKFAC_CHECK(reinterpret_cast<uintptr_t>(dst.data()) <=
+                reinterpret_cast<uintptr_t>(src.data()))
+        << "in-place encode requires dst at or before src "
+           "(encoding shrinks forward)";
+  }
   if (p == Precision::kFp16) {
     encode_buffer<&Codec::encode_fp16>(src, dst);
   } else {
@@ -178,6 +198,12 @@ void Codec::decode(std::span<const float> src, std::span<float> dst,
       << "decode buffer mismatch: " << dst.size() << " elements need "
       << encoded_floats(static_cast<int64_t>(dst.size()))
       << " transport floats, got " << src.size();
+  if (spans_overlap(src.data(), src.size(), dst.data(), dst.size())) {
+    DKFAC_CHECK(reinterpret_cast<uintptr_t>(dst.data()) >=
+                reinterpret_cast<uintptr_t>(src.data()))
+        << "in-place decode requires dst at or after src "
+           "(decoding expands backward)";
+  }
   if (p == Precision::kFp16) {
     decode_buffer<&Codec::decode_fp16>(src, dst);
   } else {

@@ -99,16 +99,34 @@ class Codec {
   //
   // Tight elementwise loops over contiguous storage (no per-element virtual
   // dispatch, no allocation) — the compiler can unroll/vectorise them.
+  //
+  // In-place aliasing contract (the comm::Arena zero-copy pipeline packs,
+  // encodes, and decodes inside ONE allocation): because two 16-bit
+  // elements bit-pack into each transport float, the encoded image of a
+  // payload is at most as long as its fp32 source — so encoding shrinks
+  // forward and decoding expands backward. Overlapping buffers are
+  // therefore legal exactly when
+  //
+  //   encode:  dst begins at or before src (writes forward; word i lands
+  //            at dst+i ≤ src+2i, both source elements are read first)
+  //   decode:  dst begins at or after  src (writes backward; elements 2i,
+  //            2i+1 land at dst+2i ≥ src+i, word i is read before either
+  //            write and later-read words sit strictly below)
+  //
+  // Any other overlap is a caller bug and throws. Results are bitwise
+  // identical to the disjoint-buffer case — iteration order never changes
+  // what a pure elementwise conversion produces.
 
   /// Encodes `src` into the bit-packed transport buffer `dst`
   /// (`dst.size() == encoded_floats(src.size())`; pad bits zeroed).
   /// `p` must be a lossy precision — the fp32 passthrough is the caller
-  /// simply not invoking the codec.
+  /// simply not invoking the codec. May alias `src` per the contract above.
   static void encode(std::span<const float> src, std::span<float> dst,
                      Precision p);
 
   /// Decodes `dst.size()` elements from the bit-packed buffer `src`
-  /// (`src.size() == encoded_floats(dst.size())`).
+  /// (`src.size() == encoded_floats(dst.size())`). May alias `src` per the
+  /// contract above.
   static void decode(std::span<const float> src, std::span<float> dst,
                      Precision p);
 };

@@ -25,7 +25,8 @@ void Communicator::allreduce_encoded(std::span<float> data,
   // moved and really were halved by the encoding).
   const uint64_t gather_calls = stats_.allgather_calls;
   const uint64_t gather_bytes = stats_.allgather_bytes;
-  const std::vector<float> gathered = allgather(data);
+  allgather_into(data, encoded_gather_);
+  const std::vector<float>& gathered = encoded_gather_;
   stats_.allgather_calls = gather_calls;
   stats_.allgather_bytes = gather_bytes;
   stats_.allreduce_calls++;

@@ -112,6 +112,14 @@ struct CommStats {
   uint64_t decomp_dense_bytes = 0;
   uint64_t decomp_packed_bytes = 0;
 
+  // Comm-arena allocator traffic, summed by the trainer across every
+  // per-step comm-path arena (the preconditioner's factor slot arena and
+  // the fusion buffers' staging arenas). steady_state_allocs counts heap
+  // allocations after warm-up was declared over — the zero-copy contract
+  // says it stays 0, and the trainer integration test asserts it.
+  uint64_t arena_bytes_reserved = 0;
+  uint64_t steady_state_allocs = 0;
+
   // Async-overlap accounting, filled by the trainer from AsyncExecutor
   // when overlap_comm is on.
   AsyncCommStats async;
@@ -135,6 +143,17 @@ class Communicator {
   /// Concatenation of every rank's contribution in rank order. Sizes may
   /// differ per rank (allgatherv semantics, like Horovod's allgather).
   virtual std::vector<float> allgather(std::span<const float> send) = 0;
+
+  /// allgather into a caller-owned buffer (resized to fit), so repeated
+  /// gathers of a fixed shape reuse one allocation instead of returning a
+  /// fresh vector per call — the zero-steady-state-allocation contract of
+  /// the encoded reduction path. Backends override this as the primary
+  /// implementation (allgather() wraps it); the default forwards to
+  /// allgather() so minimal Communicator implementations keep working.
+  virtual void allgather_into(std::span<const float> send,
+                              std::vector<float>& recv) {
+    recv = allgather(send);
+  }
 
   /// Copies `data` from `root` to all ranks.
   virtual void broadcast(std::span<float> data, int root) = 0;
@@ -208,12 +227,13 @@ class Communicator {
   CommStats stats_;
 
  private:
-  // allreduce_encoded's fp32 fold scratch, reused across calls — the
-  // encoded reduction runs once per fused chunk, and reallocating two
-  // chunk-sized buffers there would put megabyte mallocs on the comm
-  // worker's hot path (ThreadComm keeps reduce_scratch_ for the same
-  // reason). Collectives are single-caller per communicator (see the
+  // allreduce_encoded's gather destination and fp32 fold scratch, reused
+  // across calls — the encoded reduction runs once per fused chunk, and
+  // reallocating chunk-sized buffers there would put megabyte mallocs on
+  // the comm worker's hot path (ThreadComm keeps reduce_scratch_ for the
+  // same reason). Collectives are single-caller per communicator (see the
   // AsyncExecutor threading contract), so plain members are safe.
+  std::vector<float> encoded_gather_;
   std::vector<float> encoded_fold_result_;
   std::vector<float> encoded_fold_scratch_;
 };
@@ -239,9 +259,16 @@ class SelfComm final : public Communicator {
   }
 
   std::vector<float> allgather(std::span<const float> send) override {
+    std::vector<float> out;
+    allgather_into(send, out);
+    return out;
+  }
+
+  void allgather_into(std::span<const float> send,
+                      std::vector<float>& recv) override {
     stats_.allgather_calls++;
     stats_.allgather_bytes += send.size_bytes();
-    return {send.begin(), send.end()};
+    recv.assign(send.begin(), send.end());
   }
 
   void broadcast(std::span<float> data, int root) override {

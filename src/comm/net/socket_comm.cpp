@@ -121,6 +121,19 @@ void SocketComm::exchange(int to, std::span<const float> out, int from,
   stats_.wire_recv_bytes += moved - sent;
 }
 
+void SocketComm::exchange_into(int to, std::span<const float> out, int from,
+                               std::span<float> in, FrameType type) {
+  const size_t sent = kFrameHeaderBytes + out.size_bytes();
+  const size_t moved = exchange_frames_into(
+      peer(to), type, send_seq_[static_cast<size_t>(to)]++, as_bytes(out),
+      peer(from), type, recv_seq_[static_cast<size_t>(from)]++,
+      std::span<uint8_t>(reinterpret_cast<uint8_t*>(in.data()),
+                         in.size_bytes()),
+      options_.timeout_s);
+  stats_.wire_sent_bytes += sent;
+  stats_.wire_recv_bytes += moved - sent;
+}
+
 SocketComm::AllreduceAlgo SocketComm::allreduce_algorithm(uint64_t bytes) const {
   // Both algorithms produce the identical rank-order fold, so this choice
   // is pure performance: circulation pays (p-1)·n bandwidth at one round
@@ -160,16 +173,14 @@ void SocketComm::ring_circulation_allreduce(std::span<float> data, ReduceOp op) 
   for (int s = 0; s < p - 1; ++s) {
     const auto send_block = static_cast<size_t>((rank_ - s + p) % p);
     const auto recv_block = static_cast<size_t>((rank_ - s - 1 + p) % p);
-    recv_buf_.clear();
-    exchange(next,
-             std::span<const float>(circ_blocks_.data() + send_block * n, n),
-             prev, recv_buf_);
-    DKFAC_CHECK(recv_buf_.size() == n * sizeof(float))
-        << "allreduce length mismatch: rank " << prev << " sent "
-        << recv_buf_.size() / sizeof(float) << " elements, rank " << rank_
-        << " sent " << n;
-    std::memcpy(circ_blocks_.data() + recv_block * n, recv_buf_.data(),
-                recv_buf_.size());
+    // Every rank's block is the same n floats, so the incoming block lands
+    // directly in its circulation slot — no intermediate receive buffer,
+    // no memcpy (a size-mismatched peer fails inside the exchange).
+    exchange_into(next,
+                  std::span<const float>(circ_blocks_.data() + send_block * n, n),
+                  prev,
+                  std::span<float>(circ_blocks_.data() + recv_block * n, n),
+                  FrameType::kData);
   }
 
   // Rank-order fold — the shared helpers ThreadComm's allreduce uses, so
@@ -238,14 +249,27 @@ void SocketComm::pipelined_ring_allreduce(std::span<float> data, ReduceOp op) {
 }
 
 std::vector<float> SocketComm::allgather(std::span<const float> send) {
+  std::vector<float> out;
+  allgather_into(send, out);
+  return out;
+}
+
+void SocketComm::allgather_into(std::span<const float> send,
+                                std::vector<float>& recv) {
   stats_.allgather_calls++;
   stats_.allgather_bytes += send.size_bytes();
-  if (size_ == 1) return {send.begin(), send.end()};
+  if (size_ == 1) {
+    recv.assign(send.begin(), send.end());
+    return;
+  }
 
   // Ring circulation with variable block sizes — the frame length prefix
-  // carries each block's size, so no separate size exchange is needed.
-  // gather_blocks_ is a member so steady-state iterations (same per-rank
-  // sizes every exchange) reuse the block capacities.
+  // carries each block's size, so no separate size exchange is needed, but
+  // it also means receive sizes are unknown up front: this is the one ring
+  // that keeps a variable-length landing buffer (recv_buf_) instead of
+  // exchange_into. gather_blocks_ and recv_buf_ are members so
+  // steady-state iterations (same per-rank sizes every exchange) reuse
+  // their capacities — no allocation once warm.
   const int p = size_;
   const int next = (rank_ + 1) % p;
   const int prev = (rank_ - 1 + p) % p;
@@ -265,10 +289,14 @@ std::vector<float> SocketComm::allgather(std::span<const float> send) {
 
   size_t total = 0;
   for (const auto& b : gather_blocks_) total += b.size();
-  std::vector<float> out;
-  out.reserve(total);
-  for (const auto& b : gather_blocks_) out.insert(out.end(), b.begin(), b.end());
-  return out;
+  // resize + positional copy so a warm caller-owned buffer is refilled
+  // without touching the heap.
+  recv.resize(total);
+  size_t offset = 0;
+  for (const auto& b : gather_blocks_) {
+    std::copy(b.begin(), b.end(), recv.begin() + static_cast<ptrdiff_t>(offset));
+    offset += b.size();
+  }
 }
 
 void SocketComm::broadcast(std::span<float> data, int root) {
@@ -311,18 +339,9 @@ void SocketComm::barrier() {
     const int to = (rank_ + d) % p;
     const int from = (rank_ - d + p) % p;
     const float token = static_cast<float>(d);
-    recv_buf_.clear();
-    const size_t sent = kFrameHeaderBytes + sizeof(float);
-    const size_t moved = exchange_frames(
-        peer(to), FrameType::kBarrier, send_seq_[static_cast<size_t>(to)]++,
-        as_bytes(std::span<const float>(&token, 1)), peer(from),
-        FrameType::kBarrier, recv_seq_[static_cast<size_t>(from)]++, recv_buf_,
-        options_.timeout_s);
-    stats_.wire_sent_bytes += sent;
-    stats_.wire_recv_bytes += moved - sent;
-    DKFAC_CHECK(recv_buf_.size() == sizeof(float)) << "malformed barrier token";
     float got = 0.0f;
-    std::memcpy(&got, recv_buf_.data(), sizeof(float));
+    exchange_into(to, std::span<const float>(&token, 1), from,
+                  std::span<float>(&got, 1), FrameType::kBarrier);
     DKFAC_CHECK(got == token)
         << "barrier round mismatch: expected " << token << ", got " << got
         << " (collective sequence desync?)";

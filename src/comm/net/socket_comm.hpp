@@ -95,6 +95,8 @@ class SocketComm final : public Communicator {
 
   void allreduce(std::span<float> data, ReduceOp op) override;
   std::vector<float> allgather(std::span<const float> send) override;
+  void allgather_into(std::span<const float> send,
+                      std::vector<float>& recv) override;
   void broadcast(std::span<float> data, int root) override;
   void barrier() override;
 
@@ -113,6 +115,11 @@ class SocketComm final : public Communicator {
   /// receiving a variable-length block from `from` into `in_out`.
   void exchange(int to, std::span<const float> out, int from,
                 std::vector<uint8_t>& in_out);
+  /// Full-duplex ring step with a known receive size: the incoming block
+  /// lands DIRECTLY in `in` (see exchange_frames_into) — the zero-copy
+  /// step the fixed-size rings (allreduce circulation, barrier) use.
+  void exchange_into(int to, std::span<const float> out, int from,
+                     std::span<float> in, FrameType type);
 
   void ring_circulation_allreduce(std::span<float> data, ReduceOp op);
   void pipelined_ring_allreduce(std::span<float> data, ReduceOp op);
@@ -128,7 +135,7 @@ class SocketComm final : public Communicator {
   // buffers converge to the largest payload seen and stay there).
   std::vector<float> circ_blocks_;   // p·n circulation blocks (small path)
   std::vector<float> chain_scratch_; // one chunk's running partial
-  std::vector<uint8_t> recv_buf_;    // exchange() landing area
+  std::vector<uint8_t> recv_buf_;    // variable-length exchange() landing area
   std::vector<std::vector<float>> gather_blocks_;  // allgather, by rank
 };
 

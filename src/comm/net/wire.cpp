@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <array>
@@ -240,6 +241,46 @@ void Socket::send_all(const void* data, size_t n, double timeout_s) {
   }
 }
 
+void Socket::send_vectored(const void* a, size_t an, const void* b, size_t bn,
+                           double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  const auto* pa = static_cast<const uint8_t*>(a);
+  const auto* pb = static_cast<const uint8_t*>(b);
+  const size_t total = an + bn;
+  size_t sent = 0;
+  while (sent < total) {
+    // Rebuild the iovec from the running offset each round: a partial send
+    // may have ended anywhere, including mid-first-region.
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < an) {
+      iov[iovcnt++] = {const_cast<uint8_t*>(pa + sent), an - sent};
+      if (bn > 0) iov[iovcnt++] = {const_cast<uint8_t*>(pb), bn};
+    } else {
+      iov[iovcnt++] = {const_cast<uint8_t*>(pb + (sent - an)), total - sent};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t rc = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_ready(fd_, POLLOUT, deadline, "send");
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw Error("send: peer closed the connection");
+    }
+    throw_errno("send");
+  }
+}
+
 void Socket::recv_all(void* data, size_t n, double timeout_s) {
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -313,8 +354,11 @@ size_t send_frame(Socket& sock, FrameType type, uint32_t seq,
   header.checksum = crc32(payload);
   uint8_t raw[kFrameHeaderBytes];
   header.encode(raw);
-  sock.send_all(raw, kFrameHeaderBytes, timeout_s);
-  if (!payload.empty()) sock.send_all(payload.data(), payload.size(), timeout_s);
+  // Gather-send header + payload in one syscall: the payload is read
+  // straight from the caller's (arena) memory, never assembled into a
+  // contiguous frame buffer first.
+  sock.send_vectored(raw, kFrameHeaderBytes, payload.data(), payload.size(),
+                     timeout_s);
   return kFrameHeaderBytes + payload.size();
 }
 
@@ -370,10 +414,17 @@ size_t recv_frame(Socket& sock, FrameType type, uint32_t seq,
   return kFrameHeaderBytes + header.length;
 }
 
-size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
-                       std::span<const uint8_t> send_payload, Socket& from,
-                       FrameType recv_type, uint32_t recv_seq,
-                       std::vector<uint8_t>& in_out, double timeout_s) {
+namespace {
+
+/// Shared full-duplex engine for both exchange variants. `resolve_dst`
+/// maps the validated incoming payload length to the destination pointer
+/// — appending to a vector or checking a fixed span — and is called
+/// exactly once, the moment the header has fully landed.
+template <typename ResolveDst>
+size_t exchange_frames_impl(Socket& to, FrameType send_type, uint32_t send_seq,
+                            std::span<const uint8_t> send_payload, Socket& from,
+                            FrameType recv_type, uint32_t recv_seq,
+                            ResolveDst&& resolve_dst, double timeout_s) {
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(timeout_s));
@@ -389,23 +440,39 @@ size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
   size_t send_pos = 0;
   const size_t send_total = kFrameHeaderBytes + send_payload.size();
 
-  // Receive state: header first, then payload appended to in_out.
+  // Receive state: header first, then payload straight into resolve_dst's
+  // destination — the payload is never staged in an intermediate buffer.
   uint8_t recv_raw[kFrameHeaderBytes];
   size_t recv_pos = 0;
   FrameHeader recv_header;
   bool have_header = false;
-  const size_t recv_base = in_out.size();
+  uint8_t* recv_dst = nullptr;
   size_t recv_total = kFrameHeaderBytes;  // grows once the header is parsed
 
   auto pump_send = [&]() {
     while (send_pos < send_total) {
-      const uint8_t* src = send_pos < kFrameHeaderBytes
-                               ? send_raw + send_pos
-                               : send_payload.data() + (send_pos - kFrameHeaderBytes);
-      const size_t left = send_pos < kFrameHeaderBytes
-                              ? kFrameHeaderBytes - send_pos
-                              : send_total - send_pos;
-      const ssize_t rc = ::send(to.fd(), src, left, MSG_NOSIGNAL);
+      // Gather header + payload into one sendmsg: the payload leaves from
+      // the caller's memory without frame assembly. The iovec is rebuilt
+      // from the running offset each round — a partial send may have
+      // stopped anywhere, including mid-header.
+      iovec iov[2];
+      int iovcnt = 0;
+      if (send_pos < kFrameHeaderBytes) {
+        iov[iovcnt++] = {send_raw + send_pos, kFrameHeaderBytes - send_pos};
+        if (!send_payload.empty()) {
+          iov[iovcnt++] = {const_cast<uint8_t*>(send_payload.data()),
+                           send_payload.size()};
+        }
+      } else {
+        iov[iovcnt++] = {
+            const_cast<uint8_t*>(send_payload.data()) +
+                (send_pos - kFrameHeaderBytes),
+            send_total - send_pos};
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      const ssize_t rc = ::sendmsg(to.fd(), &msg, MSG_NOSIGNAL);
       if (rc > 0) {
         send_pos += static_cast<size_t>(rc);
         continue;
@@ -439,12 +506,12 @@ size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
           DKFAC_CHECK(recv_header.seq == recv_seq)
               << "exchange frame sequence mismatch: expected " << recv_seq
               << ", got " << recv_header.seq;
-          in_out.resize(recv_base + recv_header.length);
+          recv_dst = resolve_dst(recv_header.length);
           recv_total = kFrameHeaderBytes + recv_header.length;
           have_header = true;
         }
         if (recv_pos >= recv_total) return;
-        dst = in_out.data() + recv_base + (recv_pos - kFrameHeaderBytes);
+        dst = recv_dst + (recv_pos - kFrameHeaderBytes);
         left = recv_total - recv_pos;
       }
       const ssize_t rc = ::recv(from.fd(), dst, left, 0);
@@ -477,9 +544,39 @@ size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
   }
 
   check_payload_crc(recv_header,
-                    std::span<const uint8_t>(in_out.data() + recv_base,
-                                             recv_header.length));
+                    std::span<const uint8_t>(recv_dst, recv_header.length));
   return send_total + recv_total;
+}
+
+}  // namespace
+
+size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
+                       std::span<const uint8_t> send_payload, Socket& from,
+                       FrameType recv_type, uint32_t recv_seq,
+                       std::vector<uint8_t>& in_out, double timeout_s) {
+  const size_t recv_base = in_out.size();
+  return exchange_frames_impl(
+      to, send_type, send_seq, send_payload, from, recv_type, recv_seq,
+      [&](uint32_t length) {
+        in_out.resize(recv_base + length);
+        return in_out.data() + recv_base;
+      },
+      timeout_s);
+}
+
+size_t exchange_frames_into(Socket& to, FrameType send_type, uint32_t send_seq,
+                            std::span<const uint8_t> send_payload, Socket& from,
+                            FrameType recv_type, uint32_t recv_seq,
+                            std::span<uint8_t> recv_payload, double timeout_s) {
+  return exchange_frames_impl(
+      to, send_type, send_seq, send_payload, from, recv_type, recv_seq,
+      [&](uint32_t length) {
+        DKFAC_CHECK(length == recv_payload.size())
+            << "exchange frame length mismatch: peer sent " << length
+            << " bytes, expected " << recv_payload.size();
+        return recv_payload.data();
+      },
+      timeout_s);
 }
 
 }  // namespace dkfac::comm::net

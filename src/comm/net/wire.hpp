@@ -92,6 +92,13 @@ class Socket {
 
   /// Sends exactly `n` bytes before `deadline` or throws.
   void send_all(const void* data, size_t n, double timeout_s);
+  /// Gather-send: exactly `an + bn` bytes from the two regions in order,
+  /// via sendmsg/iovec — one syscall (and one TCP segment, under Nagle-off)
+  /// where send_all(a) + send_all(b) takes two. This is how a frame header
+  /// and its payload leave without first being assembled into a contiguous
+  /// scratch buffer.
+  void send_vectored(const void* a, size_t an, const void* b, size_t bn,
+                     double timeout_s);
   /// Receives exactly `n` bytes before `deadline` or throws; a peer close
   /// mid-message throws "closed the connection".
   void recv_all(void* data, size_t n, double timeout_s);
@@ -162,6 +169,16 @@ size_t exchange_frames(Socket& to, FrameType send_type, uint32_t send_seq,
                        std::span<const uint8_t> send_payload, Socket& from,
                        FrameType recv_type, uint32_t recv_seq,
                        std::vector<uint8_t>& in_out, double timeout_s);
+
+/// exchange_frames with a fixed-size receive destination: the incoming
+/// payload length must equal `recv_payload.size()` and lands DIRECTLY in
+/// it — no intermediate receive buffer, no allocation, no copy-out. The
+/// zero-copy primitive for ring steps whose block sizes are known up
+/// front (every allreduce ring step, the barrier token).
+size_t exchange_frames_into(Socket& to, FrameType send_type, uint32_t send_seq,
+                            std::span<const uint8_t> send_payload, Socket& from,
+                            FrameType recv_type, uint32_t recv_seq,
+                            std::span<uint8_t> recv_payload, double timeout_s);
 
 // ---- little-endian payload builders --------------------------------------
 

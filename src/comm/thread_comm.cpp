@@ -47,25 +47,37 @@ void ThreadComm::allreduce(std::span<float> data, ReduceOp op) {
 }
 
 std::vector<float> ThreadComm::allgather(std::span<const float> send) {
+  std::vector<float> out;
+  allgather_into(send, out);
+  return out;
+}
+
+void ThreadComm::allgather_into(std::span<const float> send,
+                                std::vector<float>& recv) {
   auto& st = *state_;
   stats_.allgather_calls++;
   stats_.allgather_bytes += send.size_bytes();
-  if (st.size == 1) return {send.begin(), send.end()};
+  if (st.size == 1) {
+    recv.assign(send.begin(), send.end());
+    return;
+  }
 
   st.send_slots[static_cast<size_t>(rank_)] = send;
   st.barrier.arrive_and_wait();
 
-  std::vector<float> out;
   size_t total = 0;
   for (int r = 0; r < st.size; ++r) total += st.send_slots[static_cast<size_t>(r)].size();
-  out.reserve(total);
+  // resize + positional copy (not clear/insert) so a warm caller-owned
+  // buffer of the right capacity is refilled without touching the heap.
+  recv.resize(total);
+  size_t offset = 0;
   for (int r = 0; r < st.size; ++r) {
     const auto src = st.send_slots[static_cast<size_t>(r)];
-    out.insert(out.end(), src.begin(), src.end());
+    std::copy(src.begin(), src.end(), recv.begin() + static_cast<ptrdiff_t>(offset));
+    offset += src.size();
   }
 
   st.barrier.arrive_and_wait();
-  return out;
 }
 
 void ThreadComm::broadcast(std::span<float> data, int root) {

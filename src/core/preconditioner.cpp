@@ -156,6 +156,17 @@ void KfacPreconditioner::update_factors() {
   // preconditioning GEMMs and the next iteration's compute, and
   // finish_factor_comm() decodes/folds it in right before the next
   // consumer.
+  //
+  // Zero-copy transport: every staged representation lives in ONE arena
+  // slot. Triangles are packed into it at their packed offsets; a lossy
+  // precision then encodes each triangle IN PLACE to its encoded offset —
+  // the encoded image of factors 0..f is never longer than their packed
+  // image (two 16-bit elements per float), so the encoded prefix can only
+  // shrink below the packed data it consumes (codec.hpp spells out the
+  // aliasing proof). The per-factor views handed to the collective are
+  // back-to-back slices of the slot, so the fusion buffer reduces the slot
+  // memory directly — no staging copy — and finish_factor_comm() decodes
+  // (descending, expanding backward) and unpacks from the same slot.
   uint64_t dense_bytes = 0;
   for (int64_t d : factor_dims_) {
     dense_bytes += static_cast<uint64_t>(d * d) * sizeof(float);
@@ -165,100 +176,101 @@ void KfacPreconditioner::update_factors() {
   const int64_t num_factors = static_cast<int64_t>(factor_dims_.size());
 
   int64_t packed_elements = 0;
+  int64_t encoded_elements = 0;
+  uint64_t shipped_bytes = 0;
   for (int64_t f = 0; f < num_factors; ++f) {
-    packed_elements += factor_payload_elements(f);
+    const int64_t count = factor_payload_elements(f);
+    packed_elements += count;
+    encoded_elements += comm::Codec::encoded_floats(count);
+    shipped_bytes += comm::Codec::wire_bytes(count, prec);
   }
   const uint64_t packed_bytes =
       static_cast<uint64_t>(packed_elements) * sizeof(float);
 
-  if (prec != comm::Precision::kFp32) {
-    // Lossy path (packed or dense source): stage the fp32 payload, encode
-    // it into the 16-bit transport buffer, and reduce THAT. Per-factor
-    // views pipeline each encoding behind the previous factor's reduction.
-    int64_t encoded_total = 0;
-    uint64_t shipped_bytes = 0;
+  auto submit_view = [&](const comm::BufferView& view) {
+    // Submitting per factor pipelines each view's reduction behind the
+    // packing/encoding of the next one.
+    if (async) {
+      executor_->submit(view, comm::ReduceOp::kAverage);
+    } else {
+      fusion_.add(view);
+    }
+  };
+  auto launch = [&]() {
+    if (async) {
+      // The executor's worker resolves the views while this thread keeps
+      // computing: pin the arena so a stray reset cannot recycle the slot
+      // under the in-flight collective.
+      arena_.pin();
+      factor_comm_pending_ = true;
+    } else {
+      fusion_.execute(comm::ReduceOp::kAverage);
+      finish_factor_comm();  // shares the decode + unpack path
+    }
+  };
+
+  if (prec == comm::Precision::kFp32 && !options_.symmetric_comm) {
+    // Dense fp32 path: each factor's storage is reduced in place — no slot,
+    // no staged representation at all.
     for (int64_t f = 0; f < num_factors; ++f) {
-      encoded_total += comm::Codec::encoded_floats(factor_payload_elements(f));
-      shipped_bytes += comm::Codec::wire_bytes(factor_payload_elements(f), prec);
+      submit_view(comm::BufferView(factor(f).cov.span()));
     }
-    encoded_.resize(static_cast<size_t>(encoded_total));
-    if (options_.symmetric_comm) {
-      packed_.resize(static_cast<size_t>(packed_elements));
-    }
+    launch();
+    report_.factor_comm_bytes = dense_bytes;
+  } else {
+    // Carve this exchange's slot. Same shape every exchange → the arena
+    // rewind hands back the same block, allocation-free once warm.
+    arena_.reset();
+    const bool lossy = prec != comm::Precision::kFp32;
+    // Dense-source lossy (!symmetric_comm) needs only the encoded image;
+    // triangle sources need the full packed image (encode shrinks inside).
+    const int64_t slot_floats =
+        options_.symmetric_comm ? packed_elements : encoded_elements;
+    exchange_slot_ = arena_.alloc(static_cast<size_t>(slot_floats), prec,
+                                  options_.symmetric_comm
+                                      ? comm::BufferLayout::kTrianglePacked
+                                      : comm::BufferLayout::kEncoded);
+    exchange_packed_ = options_.symmetric_comm;
+    exchange_precision_ = prec;
+    const std::span<float> slot = exchange_slot_.span();
     int64_t packed_offset = 0;
     int64_t encoded_offset = 0;
     for (int64_t f = 0; f < num_factors; ++f) {
       const int64_t count = factor_payload_elements(f);
-      std::span<const float> source;
+      const int64_t enc_count = comm::Codec::encoded_floats(count);
       if (options_.symmetric_comm) {
-        const std::span<float> triangle(packed_.data() + packed_offset,
+        const std::span<float> triangle(slot.data() + packed_offset,
                                         static_cast<size_t>(count));
         comm::SymmetricPacker::pack(factor(f).cov, triangle);
-        source = triangle;
-        packed_offset += count;
+        if (lossy) {
+          // In-place shrink: encoded offset ≤ packed offset, always.
+          comm::Codec::encode(
+              triangle,
+              slot.subspan(static_cast<size_t>(encoded_offset),
+                           static_cast<size_t>(enc_count)),
+              prec);
+        }
       } else {
-        source = factor(f).cov.span();
+        comm::Codec::encode(
+            factor(f).cov.span(),
+            slot.subspan(static_cast<size_t>(encoded_offset),
+                         static_cast<size_t>(enc_count)),
+            prec);
       }
-      const std::span<float> view(
-          encoded_.data() + encoded_offset,
-          static_cast<size_t>(comm::Codec::encoded_floats(count)));
-      comm::Codec::encode(source, view, prec);
-      if (async) {
-        executor_->submit(view, comm::ReduceOp::kAverage, prec);
+      if (lossy) {
+        submit_view(exchange_slot_.subview(
+            static_cast<size_t>(encoded_offset), static_cast<size_t>(enc_count),
+            prec, comm::BufferLayout::kEncoded));
       } else {
-        fusion_.add(view, prec);
+        submit_view(exchange_slot_.subview(static_cast<size_t>(packed_offset),
+                                           static_cast<size_t>(count)));
       }
-      encoded_offset += comm::Codec::encoded_floats(count);
+      packed_offset += count;
+      encoded_offset += enc_count;
     }
-    if (async) {
-      factor_comm_pending_ = true;
-    } else {
-      fusion_.execute(comm::ReduceOp::kAverage);
-      finish_factor_comm();  // shares the decode + unpack + release path
-    }
-    report_.factor_comm_bytes = shipped_bytes;
-  } else if (options_.symmetric_comm) {
-    packed_.resize(static_cast<size_t>(packed_elements));
-    int64_t offset = 0;
-    for (int64_t f = 0; f < num_factors; ++f) {
-      const Tensor& cov = factor(f).cov;
-      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
-      const std::span<float> view(packed_.data() + offset,
-                                  static_cast<size_t>(count));
-      comm::SymmetricPacker::pack(cov, view);
-      // Submitting per factor pipelines each triangle's reduction behind
-      // the packing of the next one.
-      if (async) {
-        executor_->submit(view, comm::ReduceOp::kAverage);
-      } else {
-        fusion_.add(view);
-      }
-      offset += count;
-    }
-    if (async) {
-      factor_comm_pending_ = true;
-    } else {
-      fusion_.execute(comm::ReduceOp::kAverage);
-      finish_factor_comm();  // shares the unpack + release path
-    }
-    report_.factor_comm_bytes = packed_bytes;
-  } else {
-    // Dense fp32 path: each factor's storage is reduced in place, so no
-    // monolithic copy of all factors is ever materialised.
-    for (int64_t f = 0; f < num_factors; ++f) {
-      if (async) {
-        executor_->submit(factor(f).cov.span(), comm::ReduceOp::kAverage);
-      } else {
-        fusion_.add(factor(f).cov);
-      }
-    }
-    if (async) {
-      factor_comm_pending_ = true;
-    } else {
-      fusion_.execute(comm::ReduceOp::kAverage);
-      if (options_.factor_update_freq > 1) fusion_.release_staging();
-    }
-    report_.factor_comm_bytes = dense_bytes;
+    exchange_live_ = true;
+    launch();
+    report_.factor_comm_bytes = lossy ? shipped_bytes : packed_bytes;
   }
 
   report_.factor_dense_bytes = dense_bytes;
@@ -279,63 +291,75 @@ void KfacPreconditioner::finish_factor_comm() {
   if (factor_comm_pending_) {
     DKFAC_CHECK(executor_ != nullptr)
         << "async factor exchange pending without an executor";
-    executor_->wait();
     factor_comm_pending_ = false;
+    // Unpin on every exit path: wait() rethrows a sticky pipeline error,
+    // and a pinned arena would then refuse the next exchange's reset.
+    struct Unpin {
+      comm::Arena& arena;
+      ~Unpin() { arena.unpin(); }
+    } unpin{arena_};
+    executor_->wait();
   }
-  if (!encoded_.empty()) {
-    // Fold-in of a lossy exchange: decode the reduced 16-bit payloads back
-    // to fp32, then mirror triangles into the covariances (or copy dense
-    // payloads straight in). Every rank decodes identical bytes, so the
-    // covariances stay identical across ranks and backends.
-    const comm::Precision prec = options_.factor_precision;
-    int64_t packed_offset = 0;
+  if (!exchange_live_) return;  // dense fp32 path reduced in place — no slot
+  exchange_live_ = false;
+  // Fold-in straight from the exchange slot: every staged representation
+  // of this exchange lives in that one allocation. Every rank decodes
+  // identical bytes, so the covariances stay identical across ranks and
+  // backends. The slot is NOT released — the next exchange's reset+alloc
+  // of the same shape reuses the block, keeping malloc off the hot path
+  // even on skip-heavy schedules.
+  const std::span<float> slot = exchange_slot_.span();
+  const int64_t num_factors = static_cast<int64_t>(factor_dims_.size());
+  if (exchange_precision_ != comm::Precision::kFp32 && exchange_packed_) {
+    // Lossy triangles expand IN PLACE from the slot's encoded prefix back
+    // to the packed offsets. Decoding factor f writes [P_f, P_f+c_f),
+    // reading [E_f, E_f+e_f) with E_f ≤ P_f — walking factors DESCENDING
+    // (decode writes backward, see codec.hpp) means every write lands at
+    // or above all still-undecoded encoded words.
+    int64_t packed_end = 0;
+    int64_t encoded_end = 0;
+    for (int64_t f = 0; f < num_factors; ++f) {
+      packed_end += factor_payload_elements(f);
+      encoded_end += comm::Codec::encoded_floats(factor_payload_elements(f));
+    }
+    for (int64_t f = num_factors - 1; f >= 0; --f) {
+      const int64_t count = factor_payload_elements(f);
+      const int64_t enc_count = comm::Codec::encoded_floats(count);
+      packed_end -= count;
+      encoded_end -= enc_count;
+      const std::span<float> triangle(slot.data() + packed_end,
+                                      static_cast<size_t>(count));
+      comm::Codec::decode(
+          slot.subspan(static_cast<size_t>(encoded_end),
+                       static_cast<size_t>(enc_count)),
+          triangle, exchange_precision_);
+      comm::SymmetricPacker::unpack(triangle, factor(f).cov);
+    }
+  } else if (exchange_precision_ != comm::Precision::kFp32) {
+    // Lossy dense payloads decode straight into the covariance storage.
     int64_t encoded_offset = 0;
-    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
+    for (int64_t f = 0; f < num_factors; ++f) {
+      Tensor& cov = factor(f).cov;
+      const int64_t enc_count =
+          comm::Codec::encoded_floats(factor_payload_elements(f));
+      comm::Codec::decode(
+          slot.subspan(static_cast<size_t>(encoded_offset),
+                       static_cast<size_t>(enc_count)),
+          cov.span(), exchange_precision_);
+      encoded_offset += enc_count;
+    }
+  } else {
+    // fp32 triangles: mirror the reduced upper triangles back out.
+    int64_t offset = 0;
+    for (int64_t f = 0; f < num_factors; ++f) {
       Tensor& cov = factor(f).cov;
       const int64_t count = factor_payload_elements(f);
-      const std::span<const float> view(
-          encoded_.data() + encoded_offset,
-          static_cast<size_t>(comm::Codec::encoded_floats(count)));
-      if (options_.symmetric_comm) {
-        // packed_ still holds this step's pre-reduce triangles; reuse it
-        // as the decode destination (same size, no extra allocation).
-        const std::span<float> triangle(packed_.data() + packed_offset,
-                                        static_cast<size_t>(count));
-        comm::Codec::decode(view, triangle, prec);
-        comm::SymmetricPacker::unpack(triangle, cov);
-        packed_offset += count;
-      } else {
-        comm::Codec::decode(view, cov.span(), prec);
-      }
-      encoded_offset += comm::Codec::encoded_floats(count);
-    }
-    encoded_.clear();
-    packed_.clear();
-  } else if (!packed_.empty()) {
-    // Mirror the reduced triangles back into the covariance tensors (the
-    // dense fp32 path reduced them in place, so packed_ stays empty there).
-    int64_t offset = 0;
-    for (int64_t f = 0; f < static_cast<int64_t>(factor_dims_.size()); ++f) {
-      Tensor& cov = factor(f).cov;
-      const int64_t count = comm::SymmetricPacker::packed_size(cov.dim(0));
       comm::SymmetricPacker::unpack(
-          std::span<const float>(packed_.data() + offset,
+          std::span<const float>(slot.data() + offset,
                                  static_cast<size_t>(count)),
           cov);
       offset += count;
     }
-    packed_.clear();
-  } else {
-    return;
-  }
-  // Release the staging allocations only on skip-heavy schedules, where
-  // the next exchange is iterations away and holding the peak payload is
-  // waste; at factor_update_freq == 1 the buffers are reused next step
-  // and freeing them would put a malloc on the hot path.
-  if (options_.factor_update_freq > 1) {
-    packed_.shrink_to_fit();
-    encoded_.shrink_to_fit();
-    fusion_.release_staging();
   }
 }
 

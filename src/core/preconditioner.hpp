@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/arena.hpp"
 #include "comm/async_executor.hpp"
 #include "comm/communicator.hpp"
 #include "comm/fusion.hpp"
@@ -79,6 +80,21 @@ class KfacPreconditioner {
 
   int64_t iteration() const { return iteration_; }
   const KfacOptions& options() const { return options_; }
+
+  /// Combined allocator-traffic counters of this object's comm arenas (the
+  /// factor exchange slot + the fusion staging arena).
+  comm::ArenaStats arena_stats() const {
+    comm::ArenaStats s = arena_.stats();
+    s += fusion_.arena_stats();
+    return s;
+  }
+  /// Declares warm-up over: any further comm-path heap growth counts as
+  /// steady_state_allocs.
+  void mark_steady_state() {
+    arena_.mark_steady_state();
+    fusion_.mark_steady_state();
+  }
+
   const WorkAssignment& assignment() const { return assignment_; }
   size_t layer_count() const { return layers_.size(); }
   /// Flattened factor dimensions (A₀, G₁, A₁, G₂, ...).
@@ -169,15 +185,25 @@ class KfacPreconditioner {
   /// Overlapped-communication pipeline (owned by the trainer); nullptr →
   /// synchronous exchange.
   comm::AsyncExecutor* executor_ = nullptr;
-  /// Staging area for triangle-packed FP32 factor payloads. Released after
-  /// each exchange completes so skip-heavy schedules don't pin peak memory.
-  std::vector<float> packed_;
-  /// Codec bit-packed 16-bit transport payloads when factor_precision is
-  /// lossy — the views the collective actually reduces ("encode once" on
-  /// this rank, decoded on fold-in). Empty at fp32.
-  std::vector<float> encoded_;
-  /// An asynchronous factor exchange is in flight (packed_ or encoded_
-  /// holds the payload views the executor is still reducing).
+  /// Owns the factor-exchange slot: ONE allocation per exchange holding
+  /// the whole pipeline in place — triangles are packed into it, the codec
+  /// encodes them in place inside it (encoded image at or below the packed
+  /// image, see codec.hpp), the collective reduces it directly, and decode
+  /// + unpack read it back out. reset() + alloc() of the same shape every
+  /// exchange reuses the same block forever: zero steady-state heap
+  /// allocations on the factor path.
+  comm::Arena arena_;
+  /// The slot carved for the current exchange (empty when none is live).
+  comm::BufferView exchange_slot_;
+  /// exchange_slot_ holds reduced payloads finish_factor_comm() has not
+  /// yet folded into the covariances.
+  bool exchange_live_ = false;
+  /// The live exchange's layout: triangle-packed source (symmetric_comm)?
+  bool exchange_packed_ = false;
+  /// The live exchange's wire precision (fp32 → no codec stage in slot).
+  comm::Precision exchange_precision_ = comm::Precision::kFp32;
+  /// An asynchronous factor exchange is in flight (the executor is still
+  /// reducing views of exchange_slot_ — the arena is pinned meanwhile).
   bool factor_comm_pending_ = false;
   std::vector<LayerState> layers_;
   std::vector<int64_t> factor_dims_;

@@ -8,7 +8,7 @@
 namespace dkfac {
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   DKFAC_CHECK(static_cast<int64_t>(data_.size()) == shape_.numel())
       << "value count " << data_.size() << " does not match shape " << shape_;
 }

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/aligned.hpp"
 #include "tensor/random.hpp"
 #include "tensor/shape.hpp"
 
@@ -25,7 +26,8 @@ class Tensor {
       : shape_(std::move(shape)),
         data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
 
-  /// Tensor wrapping a copy of `values`; must match shape.numel().
+  /// Tensor holding a copy of `values` (re-homed into aligned storage);
+  /// must match shape.numel().
   Tensor(Shape shape, std::vector<float> values);
 
   // ---- factories -------------------------------------------------------
@@ -107,7 +109,10 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  // Cache-line-aligned so collectives and SIMD kernels slicing this
+  // storage (the zero-copy dense fp32 factor path reduces it in place)
+  // start from an aligned base.
+  AlignedFloatVector data_;
 };
 
 /// True when every element differs by at most `atol + rtol*|b|`.

@@ -9,6 +9,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "comm/arena.hpp"
 #include "comm/async_executor.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/thread_comm.hpp"
@@ -240,6 +241,15 @@ TrainResult train_with_comm(const ModelFactory& factory,
         for (nn::Parameter* p : params) grad_fusion->add(p->grad);
         grad_fusion->execute(comm::ReduceOp::kAverage);
       }
+      // Warm-up ends after the first full iteration: every comm-path arena
+      // has seen its peak payload (gradients, factors, staging chunks), so
+      // any later block allocation is a zero-copy regression — counted in
+      // steady_state_allocs and asserted zero by the integration tests.
+      if (epoch == 0 && b == 1) {
+        if (kfac) kfac->mark_steady_state();
+        if (executor) executor->mark_steady_state();
+        if (grad_fusion) grad_fusion->mark_steady_state();
+      }
       if (kfac) kfac->step();                   // preconditioner.step()
       optimizer->step();                        // optimizer.step()
 
@@ -272,6 +282,16 @@ TrainResult train_with_comm(const ModelFactory& factory,
   model->set_backward_hook(nullptr);
   result.comm_stats = comm.stats();
   if (executor) result.comm_stats.async = executor->stats();
+  // Comm-arena allocator traffic, summed over every arena on the per-step
+  // path (factor exchange slot + each fusion staging arena). After the
+  // warm-up mark above, steady_state_allocs must stay 0 — the zero-copy
+  // transport's contract.
+  comm::ArenaStats arenas;
+  if (kfac) arenas += kfac->arena_stats();
+  if (executor) arenas += executor->arena_stats();
+  if (grad_fusion) arenas += grad_fusion->arena_stats();
+  result.comm_stats.arena_bytes_reserved = arenas.bytes_reserved;
+  result.comm_stats.steady_state_allocs = arenas.steady_state_allocs;
   if (comm.rank() == 0 && config.on_trained_model) {
     config.on_trained_model(*model);
   }
