@@ -1,0 +1,244 @@
+// Ablation: the decomposition stack — seed EISPACK/tql2 + unblocked
+// Cholesky ("legacy", embedded in legacy_decomp.hpp) against the blocked
+// Householder / divide-and-conquer eigensolver and the blocked
+// Cholesky + triangular-inverse spd_inverse, plus the batched
+// factor-decomposition scheduler against a plain serial loop.
+//
+// Two questions, answered in BENCH_decomp.json:
+//
+//  1. How close is each decomposition to its gemm-flop equivalent? Each
+//     size also times a same-order fp64 gemm through the packed driver
+//     and converts the decomposition's classical flop count to "ms at
+//     gemm speed":  sym_eig ≈ 9n³ flops (4/3 n³ reduction + 4/3 n³
+//     orthogonal-matrix formation + ~6n³ for the tridiagonal eigensolve
+//     with vectors, the dense-solver yardstick), spd_inverse ≈ n³
+//     (potrf + trtri + lauum at n³/3 each), gemm = 2n³.
+//  2. Does batching many small factors beat decomposing them one at a
+//     time? On a single-core runner the scheduler intentionally degrades
+//     to the serial loop (no parallelism to trade on), so the speedup
+//     column reads ~1× there; the bitwise_match field is the load-bearing
+//     bit — batched and serial results must be identical.
+//
+// Like ablation_kernels, the single-size comparisons pin one thread so
+// the recorded trajectory is stable across CI runners.
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "legacy_decomp.hpp"
+#include "linalg/batch.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm_driver.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace dkfac;
+
+template <typename Fn>
+double time_ms(Fn&& fn, int repeats) {
+  fn();  // warm-up
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    fn();
+    times.push_back(seconds_since(start) * 1e3);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+Tensor make_spd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor m = Tensor::randn(Shape{n, n}, rng);
+  Tensor spd(Shape{n, n});
+  linalg::syrk(1.0f / static_cast<float>(n), m, linalg::Trans::kYes, 0.0f,
+               spd);
+  linalg::add_diagonal(spd, 0.1f);
+  return spd;
+}
+
+/// Same-order fp64 gemm through the packed driver: the speed-of-light
+/// reference the decompositions are normalized against.
+double dgemm_ms(int64_t n, int reps) {
+  std::vector<double> a(static_cast<size_t>(n * n), 1.0);
+  std::vector<double> b(static_cast<size_t>(n * n), 1.0);
+  std::vector<double> c(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n * n; ++i) {
+    a[static_cast<size_t>(i)] = 1.0 + 1e-6 * static_cast<double>(i % 97);
+    b[static_cast<size_t>(i)] = 1.0 - 1e-6 * static_cast<double>(i % 89);
+  }
+  return time_ms(
+      [&] {
+        linalg::detail::gemm_accum<double>(1.0, a.data(), n, false, b.data(),
+                                           n, false, c.data(), n, n, n, n);
+      },
+      reps);
+}
+
+struct DecompRow {
+  std::string kernel;
+  int64_t n = 0;
+  double legacy_ms = 0.0;
+  double new_ms = 0.0;
+  double flops = 0.0;     // classical flop count of the decomposition
+  double gemm_ms = 0.0;   // measured same-order fp64 gemm (2n³ flops)
+  double speedup() const {
+    return legacy_ms > 0.0 && new_ms > 0.0 ? legacy_ms / new_ms : 0.0;
+  }
+  double gflops() const { return new_ms > 0.0 ? flops / (new_ms * 1e6) : 0.0; }
+  double gemm_equiv_ms() const {
+    const double nd = static_cast<double>(n);
+    return gemm_ms * flops / (2.0 * nd * nd * nd);
+  }
+  double ratio() const {
+    const double eq = gemm_equiv_ms();
+    return eq > 0.0 ? new_ms / eq : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int hw_threads = omp_get_max_threads();
+  std::printf("\n================================================================\n");
+  std::printf("Ablation — decomposition stack: legacy vs blocked D&C + batching\n");
+  std::printf("================================================================\n");
+
+  // ---- legacy vs new, single-thread -------------------------------------
+  omp_set_num_threads(1);
+  std::vector<DecompRow> rows;
+  for (int64_t n : {64, 128, 256, 512, 1024}) {
+    const double nd = static_cast<double>(n);
+    // Legacy tql2 at n=1024 costs seconds per call; one timed rep keeps
+    // the bench under a minute without hiding anything (median of 1).
+    const int reps = n >= 512 ? 1 : 3;
+    const Tensor spd = make_spd(n, 4);
+    const double gemm = dgemm_ms(n, reps);
+
+    DecompRow eig{"sym_eig_" + std::to_string(n), n, 0, 0,
+                  9.0 * nd * nd * nd, gemm};
+    eig.legacy_ms = time_ms([&] { bench_legacy::legacy_sym_eig(spd); }, reps);
+    eig.new_ms = time_ms([&] { linalg::sym_eig(spd); }, reps);
+    rows.push_back(eig);
+
+    DecompRow inv{"spd_inverse_" + std::to_string(n), n, 0, 0, nd * nd * nd,
+                  gemm};
+    inv.legacy_ms =
+        time_ms([&] { bench_legacy::legacy_spd_inverse(spd); }, reps);
+    inv.new_ms = time_ms([&] { linalg::spd_inverse(spd); }, reps);
+    rows.push_back(inv);
+  }
+
+  std::printf("\n%-18s %10s %10s %8s %8s %10s %8s\n", "kernel", "legacy ms",
+              "new ms", "speedup", "GFLOP/s", "gemm-eq ms", "ratio");
+  for (const DecompRow& r : rows) {
+    std::printf("%-18s %10.2f %10.2f %7.2fx %8.2f %10.2f %7.2fx\n",
+                r.kernel.c_str(), r.legacy_ms, r.new_ms, r.speedup(),
+                r.gflops(), r.gemm_equiv_ms(), r.ratio());
+  }
+
+  // ---- batched vs serial many-small-factors ------------------------------
+  // A ResNet-ish rank's factor multiset: many small A/G factors, a couple
+  // of large ones. Serial reference decomposes them one at a time (each
+  // free to use intra-matrix parallelism); the scheduler overlaps the
+  // small ones across the team instead.
+  omp_set_num_threads(hw_threads);
+  const std::vector<int64_t> dims{27,  64,  64,  73,  128, 144, 147,
+                                  160, 192, 256, 288, 512, 576};
+  std::vector<Tensor> factors;
+  factors.reserve(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    factors.push_back(make_spd(dims[i], 10 + i));
+  }
+
+  std::vector<linalg::SymEig> serial_out(dims.size());
+  std::vector<linalg::SymEig> batched_out(dims.size());
+  const double serial_ms = time_ms(
+      [&] {
+        for (size_t i = 0; i < factors.size(); ++i) {
+          serial_out[i] = linalg::sym_eig(factors[i]);
+        }
+      },
+      3);
+  linalg::BatchReport report;
+  const double batched_ms = time_ms(
+      [&] {
+        std::vector<linalg::BatchTask> tasks;
+        tasks.reserve(factors.size());
+        for (size_t i = 0; i < factors.size(); ++i) {
+          tasks.push_back({dims[i], [&, i] {
+                             batched_out[i] = linalg::sym_eig(factors[i]);
+                           }});
+        }
+        report = linalg::run_decomposition_batch(tasks);
+      },
+      3);
+
+  bool bitwise = true;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    const int64_t d = dims[i];
+    bitwise = bitwise &&
+              std::memcmp(serial_out[i].values.data(),
+                          batched_out[i].values.data(),
+                          static_cast<size_t>(d) * sizeof(float)) == 0 &&
+              std::memcmp(serial_out[i].vectors.data(),
+                          batched_out[i].vectors.data(),
+                          static_cast<size_t>(d * d) * sizeof(float)) == 0;
+  }
+
+  std::printf(
+      "\nbatch (%d threads, %zu factors): serial %.2f ms, batched %.2f ms "
+      "(%.2fx), intra=%lld inter=%lld, bitwise_match=%s\n",
+      hw_threads, dims.size(), serial_ms, batched_ms,
+      batched_ms > 0.0 ? serial_ms / batched_ms : 0.0,
+      static_cast<long long>(report.intra_tasks),
+      static_cast<long long>(report.inter_tasks), bitwise ? "true" : "false");
+
+  // ---- artifact -----------------------------------------------------------
+  FILE* json = std::fopen("BENCH_decomp.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"ablation_decomp\",\n");
+    std::fprintf(json, "  \"threads\": 1,\n");
+    std::fprintf(json,
+                 "  \"flop_model\": {\"sym_eig\": \"9n^3\", \"spd_inverse\": "
+                 "\"n^3 (potrf+trtri+lauum)\", \"gemm\": \"2n^3\"},\n");
+    std::fprintf(json, "  \"decompositions\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const DecompRow& r = rows[i];
+      std::fprintf(json,
+                   "    {\"kernel\": \"%s\", \"legacy_ms\": %.4f, "
+                   "\"new_ms\": %.4f, \"speedup\": %.3f, \"gflops\": %.3f, "
+                   "\"dgemm_ms\": %.4f, \"gemm_equiv_ms\": %.4f, "
+                   "\"ratio_vs_gemm_equiv\": %.3f}%s\n",
+                   r.kernel.c_str(), r.legacy_ms, r.new_ms, r.speedup(),
+                   r.gflops(), r.gemm_ms, r.gemm_equiv_ms(), r.ratio(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"batch\": {\"threads\": %d, \"factors\": %zu, ",
+                 hw_threads, dims.size());
+    std::fprintf(json,
+                 "\"serial_ms\": %.4f, \"batched_ms\": %.4f, "
+                 "\"speedup\": %.3f, \"intra_tasks\": %lld, "
+                 "\"inter_tasks\": %lld, \"bitwise_match\": %s}\n",
+                 serial_ms, batched_ms,
+                 batched_ms > 0.0 ? serial_ms / batched_ms : 0.0,
+                 static_cast<long long>(report.intra_tasks),
+                 static_cast<long long>(report.inter_tasks),
+                 bitwise ? "true" : "false");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_decomp.json\n");
+  }
+  return 0;
+}

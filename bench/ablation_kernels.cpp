@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "legacy_decomp.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen.hpp"
@@ -216,9 +217,10 @@ int main() {
     rows.push_back(trow);
   }
 
-  // Decompositions (Table 1 critical path): blocked Cholesky inverse and
-  // the parallelized eigensolve. The seed implementations live in-tree no
-  // more, so these record the new kernels' ms for the perf trajectory.
+  // Decompositions (Table 1 critical path): blocked Cholesky + triangular
+  // inverse and the blocked-Householder/divide-and-conquer eigensolve,
+  // against the seed kernels (EISPACK tred2/tql2, unblocked Cholesky with
+  // dense triangular solves) embedded in legacy_decomp.hpp.
   for (int64_t n : {128, 256}) {
     Rng rng(4);
     Tensor m = Tensor::randn(Shape{n, n}, rng);
@@ -226,9 +228,12 @@ int main() {
     linalg::syrk(1.0f, m, Trans::kYes, 0.0f, spd);
     linalg::add_diagonal(spd, 0.1f);
     Row inv_row{"spd_inverse_" + std::to_string(n), 0, 0, 0.0};
+    inv_row.legacy_ms =
+        time_ms([&] { bench_legacy::legacy_spd_inverse(spd); }, 3);
     inv_row.new_ms = time_ms([&] { linalg::spd_inverse(spd); }, 3);
     rows.push_back(inv_row);
     Row eig_row{"sym_eig_" + std::to_string(n), 0, 0, 0.0};
+    eig_row.legacy_ms = time_ms([&] { bench_legacy::legacy_sym_eig(spd); }, 3);
     eig_row.new_ms = time_ms([&] { linalg::sym_eig(spd); }, 3);
     rows.push_back(eig_row);
   }

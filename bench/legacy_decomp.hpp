@@ -1,0 +1,296 @@
+// Seed (pre-PR) decomposition kernels, embedded verbatim so the ablation
+// benches can report real legacy-vs-new numbers for spd_inverse and
+// sym_eig long after the library versions were replaced.
+//
+// Provenance: the v0 growth seed's src/linalg/{eigen,cholesky}.cpp —
+// EISPACK tred2/tql2 for the eigensolve, unblocked scalar Cholesky plus
+// two dense triangular solves for the inverse. Single-thread by
+// construction (no OpenMP), exactly as the seed ran them.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dkfac::bench_legacy {
+
+namespace detail {
+
+inline double hypot2(double x, double y) { return std::sqrt(x * x + y * y); }
+
+// Householder reduction to tridiagonal form (EISPACK tred2). `v` holds the
+// symmetric matrix on entry and the accumulated transform on exit.
+inline void tred2(std::vector<double>& v, std::vector<double>& d,
+                  std::vector<double>& e, int64_t n) {
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+
+  for (int64_t j = 0; j < n; ++j) d[j] = V(n - 1, j);
+
+  for (int64_t i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (int64_t k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (int64_t j = 0; j < i; ++j) {
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+        V(j, i) = 0.0;
+      }
+    } else {
+      for (int64_t k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+      for (int64_t j = 0; j < i; ++j) e[j] = 0.0;
+
+      for (int64_t j = 0; j < i; ++j) {
+        f = d[j];
+        V(j, i) = f;
+        g = e[j] + V(j, j) * f;
+        for (int64_t k = j + 1; k <= i - 1; ++k) {
+          g += V(k, j) * d[k];
+          e[k] += V(k, j) * f;
+        }
+        e[j] = g;
+      }
+      f = 0.0;
+      for (int64_t j = 0; j < i; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (int64_t j = 0; j < i; ++j) e[j] -= hh * d[j];
+      for (int64_t j = 0; j < i; ++j) {
+        f = d[j];
+        g = e[j];
+        for (int64_t k = j; k <= i - 1; ++k) V(k, j) -= (f * e[k] + g * d[k]);
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  for (int64_t i = 0; i < n - 1; ++i) {
+    V(n - 1, i) = V(i, i);
+    V(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (int64_t k = 0; k <= i; ++k) d[k] = V(k, i + 1) / h;
+      for (int64_t j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (int64_t k = 0; k <= i; ++k) g += V(k, i + 1) * V(k, j);
+        for (int64_t k = 0; k <= i; ++k) V(k, j) -= g * d[k];
+      }
+    }
+    for (int64_t k = 0; k <= i; ++k) V(k, i + 1) = 0.0;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    d[j] = V(n - 1, j);
+    V(n - 1, j) = 0.0;
+  }
+  V(n - 1, n - 1) = 1.0;
+  e[0] = 0.0;
+}
+
+// Implicit-shift QL with eigenvector accumulation (EISPACK tql2).
+inline void tql2(std::vector<double>& v, std::vector<double>& d,
+                 std::vector<double>& e, int64_t n) {
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+
+  for (int64_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::pow(2.0, -52.0);
+  for (int64_t l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    int64_t m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        ++iter;
+        DKFAC_CHECK(iter <= 80) << "QL iteration failed to converge";
+
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = hypot2(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (int64_t i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = hypot2(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+
+          for (int64_t k = 0; k < n; ++k) {
+            h = V(k, i + 1);
+            V(k, i + 1) = s * V(k, i) + c * h;
+            V(k, i) = c * V(k, i) - s * h;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  for (int64_t i = 0; i < n - 1; ++i) {
+    int64_t k = i;
+    double p = d[i];
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      for (int64_t j = 0; j < n; ++j) std::swap(V(j, i), V(j, k));
+    }
+  }
+}
+
+}  // namespace detail
+
+inline linalg::SymEig legacy_sym_eig(const Tensor& a) {
+  const int64_t n = a.dim(0);
+  linalg::SymEig out{Tensor(Shape{n}), Tensor(Shape{n, n})};
+  if (n == 0) return out;
+
+  std::vector<double> v(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      v[static_cast<size_t>(i * n + j)] =
+          0.5 * (static_cast<double>(a.at(i, j)) + a.at(j, i));
+    }
+  }
+  std::vector<double> d(static_cast<size_t>(n));
+  std::vector<double> e(static_cast<size_t>(n));
+  detail::tred2(v, d, e, n);
+  detail::tql2(v, d, e, n);
+
+  for (int64_t i = 0; i < n; ++i) {
+    out.values[i] = static_cast<float>(d[static_cast<size_t>(i)]);
+  }
+  for (int64_t i = 0; i < n * n; ++i) {
+    out.vectors[i] = static_cast<float>(v[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+inline Tensor legacy_cholesky(const Tensor& a) {
+  const int64_t n = a.dim(0);
+  std::vector<double> l(static_cast<size_t>(n * n), 0.0);
+  auto L = [&](int64_t i, int64_t j) -> double& { return l[i * n + j]; };
+
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (int64_t k = 0; k < j; ++k) diag -= L(j, k) * L(j, k);
+    DKFAC_CHECK(diag > 0.0) << "matrix not positive definite at pivot " << j
+                            << " (value " << diag << ")";
+    const double ljj = std::sqrt(diag);
+    L(j, j) = ljj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double v = a.at(i, j);
+      for (int64_t k = 0; k < j; ++k) v -= L(i, k) * L(j, k);
+      L(i, j) = v / ljj;
+    }
+  }
+
+  Tensor out(Shape{n, n});
+  for (int64_t i = 0; i < n * n; ++i) {
+    out[i] = static_cast<float>(l[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+inline Tensor legacy_solve_lower(const Tensor& l, const Tensor& b) {
+  const int64_t n = l.dim(0);
+  const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
+  Tensor x = b;
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      double v = x[i * cols + c];
+      for (int64_t k = 0; k < i; ++k) {
+        v -= static_cast<double>(l.at(i, k)) * x[k * cols + c];
+      }
+      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+    }
+  }
+  return x;
+}
+
+inline Tensor legacy_solve_lower_transposed(const Tensor& l, const Tensor& b) {
+  const int64_t n = l.dim(0);
+  const int64_t cols = b.ndim() == 2 ? b.dim(1) : 1;
+  Tensor x = b;
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double v = x[i * cols + c];
+      for (int64_t k = i + 1; k < n; ++k) {
+        v -= static_cast<double>(l.at(k, i)) * x[k * cols + c];
+      }
+      x[i * cols + c] = static_cast<float>(v / l.at(i, i));
+    }
+  }
+  return x;
+}
+
+inline Tensor legacy_spd_inverse(const Tensor& a) {
+  const int64_t n = a.dim(0);
+  const Tensor l = legacy_cholesky(a);
+  Tensor inv =
+      legacy_solve_lower_transposed(l, legacy_solve_lower(l, Tensor::eye(n)));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float v = 0.5f * (inv.at(i, j) + inv.at(j, i));
+      inv.at(i, j) = v;
+      inv.at(j, i) = v;
+    }
+  }
+  return inv;
+}
+
+}  // namespace dkfac::bench_legacy

@@ -121,6 +121,12 @@ class KfacPreconditioner {
     /// True when the factor exchange was submitted to the AsyncExecutor
     /// instead of running synchronously.
     bool factor_comm_async = false;
+    /// Decomposition-batch split for this step (0 on skip iterations):
+    /// owned factors that ran one-at-a-time with intra-matrix kernel
+    /// parallelism vs concurrently under serial kernels (see
+    /// linalg::run_decomposition_batch).
+    int64_t decomp_intra_tasks = 0;
+    int64_t decomp_inter_tasks = 0;
   };
   const StepReport& last_report() const { return report_; }
 

@@ -1,0 +1,84 @@
+#include "linalg/batch.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <exception>
+
+#include "linalg/threading.hpp"
+
+namespace dkfac::linalg {
+
+BatchReport run_decomposition_batch(std::vector<BatchTask>& tasks) {
+  BatchReport report;
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  if (n == 0) return report;
+
+  std::vector<std::exception_ptr> errs(static_cast<size_t>(n));
+  const bool concurrent_ok =
+      parallel_kernels_allowed() && omp_get_max_threads() > 1;
+
+  if (!concurrent_ok) {
+    // Already-serialized context (AsyncExecutor worker, nested omp region,
+    // explicit SerialKernelScope) or a single-thread machine: a concurrent
+    // fan-out could only oversubscribe, so run everything in submission
+    // order. Kernels keep whatever parallelism the ambient context allows.
+    for (int64_t i = 0; i < n; ++i) {
+      try {
+        tasks[i].run();
+      } catch (...) {
+        errs[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+    report.intra_tasks = n;
+  } else {
+    std::vector<int64_t> large;
+    std::vector<int64_t> small;
+    for (int64_t i = 0; i < n; ++i) {
+      (tasks[i].dim >= kInterDimMax ? large : small).push_back(i);
+    }
+
+    // Large factors: one at a time in submission order, each fanning out
+    // through the parallel kernels.
+    for (int64_t i : large) {
+      try {
+        tasks[i].run();
+      } catch (...) {
+        errs[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+
+    // Small factors: concurrent across the team, longest-first under
+    // dynamic scheduling so a big-ish task doesn't become the tail.
+    // SerialKernelScope pins each task to serial kernels — no nested
+    // teams. Which thread runs which task varies; what each task computes
+    // does not, so the batch output is thread-count invariant.
+    std::sort(small.begin(), small.end(), [&](int64_t a, int64_t b) {
+      return tasks[a].dim != tasks[b].dim ? tasks[a].dim > tasks[b].dim
+                                          : a < b;
+    });
+    const int64_t ns = static_cast<int64_t>(small.size());
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int64_t t = 0; t < ns; ++t) {
+      const int64_t i = small[static_cast<size_t>(t)];
+      SerialKernelScope serial;
+      try {
+        tasks[i].run();
+      } catch (...) {
+        errs[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+    report.intra_tasks = static_cast<int64_t>(large.size());
+    report.inter_tasks = ns;
+  }
+
+  // Surface the same failure a serial in-order loop would have hit first.
+  for (int64_t i = 0; i < n; ++i) {
+    if (errs[static_cast<size_t>(i)]) {
+      std::rethrow_exception(errs[static_cast<size_t>(i)]);
+    }
+  }
+  return report;
+}
+
+}  // namespace dkfac::linalg

@@ -1,0 +1,62 @@
+// Batched decomposition scheduler.
+//
+// A K-FAC rank owns one A and one G factor per assigned layer — dozens of
+// symmetric matrices from a handful of elements up to ~1024². Decomposing
+// them strictly one at a time leaves the machine idle on the small ones
+// (no intra-matrix parallelism to exploit) while decomposing them all
+// concurrently would oversubscribe on the big ones (each already fans out
+// through the parallel kernels). run_decomposition_batch splits the
+// difference:
+//
+//   - LARGE tasks (dim ≥ kInterDimMax) run one at a time, in submission
+//     order, with intra-matrix kernel parallelism enabled;
+//   - SMALL tasks run concurrently across OpenMP threads, each pinned to
+//     serial kernels via SerialKernelScope so a task never forks a nested
+//     team.
+//
+// The scheduler composes with the rest of the threading contract: when
+// parallel_kernels_allowed() is already false (inside an AsyncExecutor
+// worker, an outer omp region, or an explicit SerialKernelScope), the
+// whole batch degrades to a plain serial loop instead of oversubscribing.
+//
+// Determinism: each task is internally bitwise thread-invariant (that is
+// the kernel contract), tasks are independent, and the partition into
+// large/small depends only on the dims — so the set of results is
+// identical for any OMP_NUM_THREADS, and submission order fixes which
+// task writes which output.
+//
+// Exceptions: a throwing task (e.g. cholesky on a non-PD factor) does not
+// tear down the batch; every task runs, then the exception of the
+// lowest-submission-index failure is rethrown — the same error the serial
+// loop would have surfaced first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dkfac::linalg {
+
+/// One decomposition task: `dim` is the factor order (drives large/small
+/// classification), `run` does the work. `run` must be thread-safe with
+/// respect to the other tasks in the batch (disjoint outputs).
+struct BatchTask {
+  int64_t dim = 0;
+  std::function<void()> run;
+};
+
+/// Counters reported by run_decomposition_batch (for StepReport and the
+/// ablation bench).
+struct BatchReport {
+  int64_t intra_tasks = 0;  // ran exclusively with parallel kernels
+  int64_t inter_tasks = 0;  // ran concurrently under SerialKernelScope
+};
+
+/// Factors at or above this order get the whole machine to themselves;
+/// below it, inter-matrix concurrency beats intra-matrix kernels.
+inline constexpr int64_t kInterDimMax = 256;
+
+/// Runs every task; see file comment for the scheduling contract.
+BatchReport run_decomposition_batch(std::vector<BatchTask>& tasks);
+
+}  // namespace dkfac::linalg

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "linalg/gemm_driver.hpp"
 #include "linalg/microkernel.hpp"
 #include "linalg/pack.hpp"
 #include "linalg/threading.hpp"
@@ -14,11 +15,6 @@ namespace dkfac::linalg {
 
 namespace {
 
-using detail::kKC;
-using detail::kMC;
-using detail::kMR;
-using detail::kNC;
-using detail::kNR;
 using detail::OpView;
 
 void check_rank2(const Tensor& t, const char* name) {
@@ -36,114 +32,6 @@ void apply_beta(float beta, float* c, int64_t count) {
   const bool par = parallel_kernels_allowed() && count >= (1 << 16);
 #pragma omp parallel for schedule(static) if (par)
   for (int64_t i = 0; i < count; ++i) c[i] *= beta;
-}
-
-/// Writes the valid region of one accumulated micro-tile into C, applying
-/// alpha; with `upper_only` it drops elements below the diagonal.
-inline void write_tile(float alpha, const float* acc, float* c, int64_t n,
-                       int64_t i0, int64_t mr, int64_t j0, int64_t nr,
-                       bool upper_only) {
-  for (int64_t r = 0; r < mr; ++r) {
-    float* crow = c + (i0 + r) * n;
-    const float* arow = acc + r * kNR;
-    const int64_t c_begin = upper_only ? std::max<int64_t>(0, i0 + r - j0) : 0;
-    for (int64_t cc = c_begin; cc < nr; ++cc) {
-      crow[j0 + cc] += alpha * arow[cc];
-    }
-  }
-}
-
-/// Goto-style macro-kernel: C(m×n, row-major, contiguous) += alpha·op(A)·op(B)
-/// after the caller's beta pass. When `upper_only`, micro-tiles strictly
-/// below the diagonal are skipped and only elements with col ≥ row are
-/// written — the SYRK driver; computed elements follow the exact same
-/// accumulation order as the full product, so they match gemm bitwise.
-///
-/// Loop nest (jc → pc → ic ∥ → jr → ir): one parallel region wraps the
-/// whole nest (per-thread A-pack allocated once per call); B-panels are
-/// packed once per (jc, pc) in a `single` section and shared. Threads
-/// normally partition row-blocks (ic); when the matrix has a single
-/// row-block (the tall-skinny AᵀA factor shapes, m = d ≤ 96), the A-panel
-/// is packed shared and threads partition column tiles (jr) instead.
-/// Either way every output element is accumulated by exactly one thread in
-/// ascending-k order, and the mode depends only on the shape — so results
-/// are invariant to the thread count.
-void gemm_driver(float alpha, const OpView& a, const OpView& b, float* c,
-                 int64_t m, int64_t n, int64_t k, bool upper_only) {
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-
-  const bool par = parallel_kernels_allowed() && m * n * k >= (1 << 15);
-  const int64_t bpack_cols = std::min(n, kNC);
-  const int64_t bpack_slivers = (bpack_cols + kNR - 1) / kNR;
-  std::vector<float> bpack(
-      static_cast<size_t>(bpack_slivers * kNR * std::min(k, kKC)));
-  const int64_t num_iblocks = (m + kMC - 1) / kMC;
-  const bool col_mode = num_iblocks == 1;
-  static_assert(kMC % kMR == 0, "A-panel height must be a sliver multiple");
-  const int64_t apack_floats =
-      (col_mode ? (m + kMR - 1) / kMR * kMR : kMC) * std::min(k, kKC);
-  std::vector<float> apack_shared(
-      col_mode ? static_cast<size_t>(apack_floats) : 0);
-
-#pragma omp parallel if (par)
-  {
-    std::vector<float> apack_local(
-        col_mode ? 0 : static_cast<size_t>(apack_floats));
-    alignas(32) float acc[kMR * kNR];
-
-    for (int64_t jc = 0; jc < n; jc += kNC) {
-      const int64_t nc = std::min(kNC, n - jc);
-      for (int64_t pc = 0; pc < k; pc += kKC) {
-        const int64_t kc = std::min(kKC, k - pc);
-#pragma omp single
-        {
-          detail::pack_b(b, pc, kc, jc, nc, bpack.data());
-          if (col_mode) detail::pack_a(a, 0, m, pc, kc, apack_shared.data());
-        }  // implicit barrier: packs are visible before any tile computes
-
-        if (col_mode) {
-          const int64_t num_jtiles = (nc + kNR - 1) / kNR;
-#pragma omp for schedule(static)
-          for (int64_t jt = 0; jt < num_jtiles; ++jt) {
-            const int64_t jr = jt * kNR;
-            const int64_t nr = std::min(kNR, nc - jr);
-            const int64_t j0 = jc + jr;
-            for (int64_t ir = 0; ir < m; ir += kMR) {
-              const int64_t mr = std::min(kMR, m - ir);
-              if (upper_only && ir > j0 + nr - 1) continue;
-              std::memset(acc, 0, sizeof(acc));
-              detail::microkernel(kc, apack_shared.data() + ir * kc,
-                                  bpack.data() + jr * kc, acc);
-              write_tile(alpha, acc, c, n, ir, mr, j0, nr, upper_only);
-            }
-          }  // implicit barrier before the next slab's pack
-        } else {
-#pragma omp for schedule(static)
-          for (int64_t ib = 0; ib < num_iblocks; ++ib) {
-            const int64_t ic = ib * kMC;
-            const int64_t mc = std::min(kMC, m - ic);
-            // Row-block entirely below every column of this jc panel: no
-            // upper-triangle element lives here.
-            if (upper_only && ic > jc + nc - 1) continue;
-            detail::pack_a(a, ic, mc, pc, kc, apack_local.data());
-            for (int64_t jr = 0; jr < nc; jr += kNR) {
-              const int64_t nr = std::min(kNR, nc - jr);
-              for (int64_t ir = 0; ir < mc; ir += kMR) {
-                const int64_t mr = std::min(kMR, mc - ir);
-                const int64_t i0 = ic + ir;
-                const int64_t j0 = jc + jr;
-                if (upper_only && i0 > j0 + nr - 1) continue;
-                std::memset(acc, 0, sizeof(acc));
-                detail::microkernel(kc, apack_local.data() + ir * kc,
-                                    bpack.data() + jr * kc, acc);
-                write_tile(alpha, acc, c, n, i0, mr, j0, nr, upper_only);
-              }
-            }
-          }  // implicit barrier before the next slab's pack
-        }
-      }
-    }
-  }
 }
 
 }  // namespace
@@ -164,7 +52,8 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
   apply_beta(beta, c.data(), c.numel());
   const OpView av{a.data(), a.dim(1), trans_a == Trans::kYes};
   const OpView bv{b.data(), b.dim(1), trans_b == Trans::kYes};
-  gemm_driver(alpha, av, bv, c.data(), m, n, k, /*upper_only=*/false);
+  detail::gemm_driver(alpha, av, bv, c.data(), n, m, n, k,
+                      /*upper_only=*/false);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
@@ -190,7 +79,8 @@ void syrk(float alpha, const Tensor& a, Trans trans, float beta, Tensor& c) {
   // for the equivalent call, so the computed triangle matches it bitwise.
   const OpView op1{a.data(), a.dim(1), trans == Trans::kYes};
   const OpView op2{a.data(), a.dim(1), trans == Trans::kNo};
-  gemm_driver(alpha, op1, op2, c.data(), n, n, k, /*upper_only=*/true);
+  detail::gemm_driver(alpha, op1, op2, c.data(), n, n, n, k,
+                      /*upper_only=*/true);
 
   // Mirror the computed upper triangle; C comes back exactly symmetric.
   float* pc = c.data();

@@ -2,221 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/eigen_detail.hpp"
+#include "linalg/gemm_driver.hpp"
 #include "linalg/threading.hpp"
 
 namespace dkfac::linalg {
 
 namespace {
-
-double hypot2(double x, double y) { return std::sqrt(x * x + y * y); }
-
-/// Parallelism gate shared by the eigensolver loops: the O(n²)-per-sweep
-/// inner loops only amortize a fork/join above this order.
-bool eig_parallel(int64_t n) {
-  return parallel_kernels_allowed() && n >= 96;
-}
-
-// Householder reduction of a real symmetric matrix to tridiagonal form.
-// On entry `v` holds the symmetric matrix (row-major, n×n, double). On exit
-// `v` holds the accumulated orthogonal transform, `d` the diagonal and `e`
-// the subdiagonal (e[0] unused). Derived from the public-domain EISPACK
-// routine tred2, restructured so the O(n³) pieces — the symmetric
-// matrix–vector product, the rank-2 update, and the eigenvector
-// back-transform — parallelize over independent rows/columns. Each output
-// element is produced by exactly one thread with a fixed-order inner sum,
-// so the reduction is bitwise invariant to OMP_NUM_THREADS.
-void tred2(std::vector<double>& v, std::vector<double>& d,
-           std::vector<double>& e, int64_t n) {
-  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
-  const bool par = eig_parallel(n);
-
-  for (int64_t j = 0; j < n; ++j) d[j] = V(n - 1, j);
-
-  for (int64_t i = n - 1; i > 0; --i) {
-    double scale = 0.0;
-    double h = 0.0;
-    for (int64_t k = 0; k < i; ++k) scale += std::abs(d[k]);
-    if (scale == 0.0) {
-      e[i] = d[i - 1];
-      for (int64_t j = 0; j < i; ++j) {
-        d[j] = V(i - 1, j);
-        V(i, j) = 0.0;
-        V(j, i) = 0.0;
-      }
-    } else {
-      for (int64_t k = 0; k < i; ++k) {
-        d[k] /= scale;
-        h += d[k] * d[k];
-      }
-      double f = d[i - 1];
-      double g = std::sqrt(h);
-      if (f > 0) g = -g;
-      e[i] = scale * g;
-      h -= f * g;
-      d[i - 1] = f - g;
-
-      // e = A·d over the still-symmetric leading i×i block, which EISPACK
-      // keeps valid in the LOWER triangle only: row j left of the diagonal,
-      // column j below it. Parallel over j — every e[j] is one thread's
-      // fixed ascending-k sum. Also stashes d into column i (V(j,i) = d[j])
-      // as the original interleaved loop did.
-#pragma omp parallel for schedule(static) if (par)
-      for (int64_t j = 0; j < i; ++j) {
-        const double* vrow = &v[static_cast<size_t>(j * n)];
-        double sum = 0.0;
-        for (int64_t k = 0; k <= j; ++k) sum += vrow[k] * d[k];
-        for (int64_t k = j + 1; k < i; ++k) sum += v[k * n + j] * d[k];
-        e[j] = sum;
-        V(j, i) = d[j];
-      }
-      f = 0.0;
-      for (int64_t j = 0; j < i; ++j) {
-        e[j] /= h;
-        f += e[j] * d[j];
-      }
-      const double hh = f / (h + h);
-      for (int64_t j = 0; j < i; ++j) e[j] -= hh * d[j];
-      // Symmetric rank-2 update of the lower triangle: column j is an
-      // independent strip, each element written exactly once.
-#pragma omp parallel for schedule(static) if (par)
-      for (int64_t j = 0; j < i; ++j) {
-        const double fj = d[j];
-        const double gj = e[j];
-        for (int64_t k = j; k <= i - 1; ++k) V(k, j) -= (fj * e[k] + gj * d[k]);
-      }
-      for (int64_t j = 0; j < i; ++j) {
-        d[j] = V(i - 1, j);
-        V(i, j) = 0.0;
-      }
-    }
-    d[i] = h;
-  }
-
-  // Accumulate transformations (eigenvector back-transform). For each
-  // Householder vector (column i+1), every accumulated column j ≤ i is
-  // updated independently: g = Σ_k V(k,i+1)·V(k,j) then V(·,j) -= g·d —
-  // parallel over j with fixed-order sums.
-  for (int64_t i = 0; i < n - 1; ++i) {
-    V(n - 1, i) = V(i, i);
-    V(i, i) = 1.0;
-    const double h = d[i + 1];
-    if (h != 0.0) {
-      for (int64_t k = 0; k <= i; ++k) d[k] = V(k, i + 1) / h;
-#pragma omp parallel for schedule(static) if (par && i >= 96)
-      for (int64_t j = 0; j <= i; ++j) {
-        double g = 0.0;
-        for (int64_t k = 0; k <= i; ++k) g += V(k, i + 1) * V(k, j);
-        for (int64_t k = 0; k <= i; ++k) V(k, j) -= g * d[k];
-      }
-    }
-    for (int64_t k = 0; k <= i; ++k) V(k, i + 1) = 0.0;
-  }
-  for (int64_t j = 0; j < n; ++j) {
-    d[j] = V(n - 1, j);
-    V(n - 1, j) = 0.0;
-  }
-  V(n - 1, n - 1) = 1.0;
-  e[0] = 0.0;
-}
-
-// Implicit-shift QL iteration on the tridiagonal form produced by tred2,
-// accumulating eigenvectors into `v`. Translated from EISPACK tql2. The
-// per-step Givens rotation of the eigenvector matrix is deliberately NOT
-// parallelized: at O(n) work per rotation a fork/join costs more than the
-// rotation itself at any K-FAC factor size — the parallel wins live in
-// tred2's O(i²)-per-step loops.
-void tql2(std::vector<double>& v, std::vector<double>& d,
-          std::vector<double>& e, int64_t n) {
-  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
-
-  for (int64_t i = 1; i < n; ++i) e[i - 1] = e[i];
-  e[n - 1] = 0.0;
-
-  double f = 0.0;
-  double tst1 = 0.0;
-  const double eps = std::pow(2.0, -52.0);
-  for (int64_t l = 0; l < n; ++l) {
-    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
-    int64_t m = l;
-    while (m < n) {
-      if (std::abs(e[m]) <= eps * tst1) break;
-      ++m;
-    }
-
-    if (m > l) {
-      int iter = 0;
-      do {
-        ++iter;
-        DKFAC_CHECK(iter <= 80) << "QL iteration failed to converge";
-
-        double g = d[l];
-        double p = (d[l + 1] - g) / (2.0 * e[l]);
-        double r = hypot2(p, 1.0);
-        if (p < 0) r = -r;
-        d[l] = e[l] / (p + r);
-        d[l + 1] = e[l] * (p + r);
-        const double dl1 = d[l + 1];
-        double h = g - d[l];
-        for (int64_t i = l + 2; i < n; ++i) d[i] -= h;
-        f += h;
-
-        p = d[m];
-        double c = 1.0;
-        double c2 = c;
-        double c3 = c;
-        const double el1 = e[l + 1];
-        double s = 0.0;
-        double s2 = 0.0;
-        for (int64_t i = m - 1; i >= l; --i) {
-          c3 = c2;
-          c2 = c;
-          s2 = s;
-          g = c * e[i];
-          h = c * p;
-          r = hypot2(p, e[i]);
-          e[i + 1] = s * r;
-          s = e[i] / r;
-          c = p / r;
-          p = c * d[i] - s * g;
-          d[i + 1] = h + s * (c * g + s * d[i]);
-
-          for (int64_t k = 0; k < n; ++k) {
-            const double vk1 = V(k, i + 1);
-            const double vk0 = V(k, i);
-            V(k, i + 1) = s * vk0 + c * vk1;
-            V(k, i) = c * vk0 - s * vk1;
-          }
-        }
-        p = -s * s2 * c3 * el1 * e[l] / dl1;
-        e[l] = s * p;
-        d[l] = c * p;
-      } while (std::abs(e[l]) > eps * tst1);
-    }
-    d[l] += f;
-    e[l] = 0.0;
-  }
-
-  // Sort eigenvalues ascending, permuting eigenvector columns.
-  for (int64_t i = 0; i < n - 1; ++i) {
-    int64_t k = i;
-    double p = d[i];
-    for (int64_t j = i + 1; j < n; ++j) {
-      if (d[j] < p) {
-        k = j;
-        p = d[j];
-      }
-    }
-    if (k != i) {
-      d[k] = d[i];
-      d[i] = p;
-      for (int64_t j = 0; j < n; ++j) std::swap(V(j, i), V(j, k));
-    }
-  }
-}
 
 void check_square(const Tensor& a) {
   DKFAC_CHECK(a.ndim() == 2 && a.dim(0) == a.dim(1))
@@ -241,8 +38,24 @@ SymEig sym_eig(const Tensor& a) {
   }
   std::vector<double> d(static_cast<size_t>(n));
   std::vector<double> e(static_cast<size_t>(n));
-  tred2(v, d, e, n);
-  tql2(v, d, e, n);
+
+  if (n < detail::kDcMin) {
+    // Small factors: unblocked reduction with Q accumulated in `v`, then
+    // QL rotates Q's columns straight into full-matrix eigenvectors — no
+    // separate back-multiply.
+    detail::tridiagonalize(v.data(), n, d.data(), e.data());
+    detail::tridiag_eig_ql(d.data(), e.data(), n, v.data(), n, n);
+  } else {
+    // Large factors: (blocked) Householder Q, divide-and-conquer for the
+    // tridiagonal stage, then one dense V = Q·S through the fp64 driver.
+    detail::tridiagonalize(v.data(), n, d.data(), e.data());
+    std::vector<double> s(static_cast<size_t>(n * n));
+    detail::tridiag_eig_dc(d.data(), e.data(), n, s.data(), n);
+    std::vector<double> vq(static_cast<size_t>(n * n), 0.0);
+    detail::gemm_accum<double>(1.0, v.data(), n, false, s.data(), n, false,
+                               vq.data(), n, n, n, n);
+    v.swap(vq);
+  }
 
   for (int64_t i = 0; i < n; ++i) out.values[i] = static_cast<float>(d[static_cast<size_t>(i)]);
   for (int64_t i = 0; i < n * n; ++i) out.vectors[i] = static_cast<float>(v[static_cast<size_t>(i)]);

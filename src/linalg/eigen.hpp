@@ -2,10 +2,14 @@
 //
 // K-FAC's inverse-free preconditioning path (paper §IV-A, Eqs 13–15)
 // requires the full eigendecomposition of each Kronecker factor. We
-// implement the classic dense pipeline from scratch:
+// implement the classic dense pipeline from scratch (eigen_detail.hpp):
 //
-//   1. Householder reduction to symmetric tridiagonal form (tred2), and
-//   2. implicit-shift QL iteration with eigenvector accumulation (tql2).
+//   1. Householder reduction to tridiagonal form — unblocked for small
+//      factors, blocked compact-WY for large ones so the O(n³) work rides
+//      the packed fp64 gemm micro-kernels, and
+//   2. a tridiagonal eigensolve — implicit-shift QL below kDcMin,
+//      divide-and-conquer (secular-equation merge with deflation) above —
+//      followed by a dense Q·S back-multiply on the blocked path.
 //
 // Internals run in double precision; Kronecker factors are FP32
 // accumulations of rank-1 updates and are often near-singular, so the

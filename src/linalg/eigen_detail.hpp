@@ -1,0 +1,59 @@
+// Internal double-precision building blocks of sym_eig / spd_inverse.
+//
+// sym_eig is staged as
+//
+//   1. Householder tridiagonalization  A = Q·T·Qᵀ   (householder.cpp)
+//   2. tridiagonal eigensolve          T = S·Λ·Sᵀ   (tridiag_dc.cpp)
+//   3. back-multiply                   V = Q·S      (fp64 gemm driver)
+//
+// with two implementations per stage: an unblocked EISPACK-style path for
+// small orders (where blocking overhead dominates) and a blocked
+// compact-WY / divide-and-conquer path whose O(n³) work runs through the
+// packed fp64 micro-kernels. The dispatch thresholds live here so tests
+// can pin sizes to a specific path.
+//
+// Conventions: matrices are row-major doubles; the tridiagonal T is stored
+// as d[0..n) (diagonal) and e[0..n-1) (off-diagonal, e[i] = T(i, i+1));
+// eigenvectors are columns; eigenvalues ascend.
+//
+// Every routine is bitwise invariant to OMP_NUM_THREADS: parallel loops
+// assign each output element to exactly one thread with fixed-order inner
+// sums, and all matrix products go through the deterministic gemm driver.
+#pragma once
+
+#include <cstdint>
+
+namespace dkfac::linalg::detail {
+
+/// Orders below this use the unblocked tred2-style reduction; at and above
+/// it, the blocked compact-WY reduction (panel width kTridiagPanel).
+inline constexpr int64_t kTridiagBlockedMin = 128;
+inline constexpr int64_t kTridiagPanel = 32;
+
+/// Orders below this solve the tridiagonal stage with implicit-shift QL
+/// directly; at and above, divide-and-conquer with subproblems recursively
+/// split until they reach kDcBase (solved by QL).
+inline constexpr int64_t kDcMin = 96;
+inline constexpr int64_t kDcBase = 48;
+
+/// Reduces the symmetric matrix in `a` (n×n, row-major) to tridiagonal
+/// form. On exit `a` holds the orthogonal Q with A = Q·T·Qᵀ, `d`/`e` hold
+/// T. Dispatches unblocked vs blocked on kTridiagBlockedMin.
+void tridiagonalize(double* a, int64_t n, double* d, double* e);
+
+/// Implicit-shift QL on (d, e), rotating the `rows`×n block at `q`
+/// (leading dimension ldq) that the caller pre-seeded — identity for
+/// standalone tridiagonal eigenvectors, the Householder Q for a fused
+/// full-matrix solve. On return d ascends and q columns are the matching
+/// vectors; e is clobbered (needs capacity n).
+void tridiag_eig_ql(double* d, double* e, int64_t n, double* q, int64_t rows,
+                    int64_t ldq);
+
+/// Divide-and-conquer eigensolver for the tridiagonal (d, e): Cuppen
+/// rank-one splits, secular-equation merges with dlaed2-style deflation
+/// and Gu–Eisenstat z-recomputation. On return d holds ascending
+/// eigenvalues and the n×n block at `q` (leading dimension ldq, contents
+/// overwritten) the eigenvectors of T in columns; e is clobbered.
+void tridiag_eig_dc(double* d, double* e, int64_t n, double* q, int64_t ldq);
+
+}  // namespace dkfac::linalg::detail

@@ -1,0 +1,398 @@
+// Householder tridiagonalization (stage 1 of sym_eig).
+//
+// Two paths, selected on kTridiagBlockedMin:
+//
+//   - unblocked: the EISPACK tred2-style reduction with the Q accumulation
+//     fused in — O(n²)-per-step loops parallelized row-wise. Best for
+//     small factors where panel machinery costs more than it saves.
+//   - blocked compact-WY (dsytrd/dlatrd shape): reduce a kTridiagPanel-wide
+//     panel at a time, representing its reflectors as I − V·T·Vᵀ. Within
+//     the panel only single columns are updated (Level-2 symmetric matvec
+//     plus V/W compensation terms); the trailing submatrix then takes one
+//     rank-2·nb update A −= V·Wᵀ + W·Vᵀ through the packed fp64 gemm
+//     driver — that is where ~half the 4n³/3 flops land, at Level-3 speed.
+//     Q is formed afterwards by applying the panels to the identity in
+//     descending order, again as gemms.
+//
+// Determinism: the matvec/compensation loops give each output element to
+// exactly one thread with fixed-order inner sums; everything else is the
+// deterministic gemm driver — so results are bitwise invariant to
+// OMP_NUM_THREADS.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "linalg/eigen_detail.hpp"
+#include "linalg/gemm_driver.hpp"
+#include "linalg/threading.hpp"
+
+namespace dkfac::linalg::detail {
+
+namespace {
+
+bool tridiag_parallel(int64_t n) {
+  return parallel_kernels_allowed() && n >= 96;
+}
+
+// Unblocked Householder reduction with fused Q accumulation (EISPACK tred2
+// restructured for row-parallel loops). On exit `v` holds Q, `d` the
+// diagonal, `e` the off-diagonal in the clean e[i] = T(i, i+1) layout.
+void tridiagonalize_unblocked(double* v, int64_t n, double* d, double* e_out) {
+  auto V = [&](int64_t i, int64_t j) -> double& { return v[i * n + j]; };
+  const bool par = tridiag_parallel(n);
+  // EISPACK layout during the reduction: e[i] = T(i-1, i), e[0] unused.
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+
+  for (int64_t j = 0; j < n; ++j) d[j] = V(n - 1, j);
+
+  for (int64_t i = n - 1; i > 0; --i) {
+    double scale = 0.0;
+    double h = 0.0;
+    for (int64_t k = 0; k < i; ++k) scale += std::abs(d[k]);
+    if (scale == 0.0) {
+      e[i] = d[i - 1];
+      for (int64_t j = 0; j < i; ++j) {
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+        V(j, i) = 0.0;
+      }
+    } else {
+      for (int64_t k = 0; k < i; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      double f = d[i - 1];
+      double g = std::sqrt(h);
+      if (f > 0) g = -g;
+      e[i] = scale * g;
+      h -= f * g;
+      d[i - 1] = f - g;
+
+      // e = A·d over the still-symmetric leading i×i block, which the
+      // reduction keeps valid in the LOWER triangle only: row j left of the
+      // diagonal, column j below it. Parallel over j — every e[j] is one
+      // thread's fixed ascending-k sum. Also stashes d into column i
+      // (V(j,i) = d[j]) as the original interleaved loop did.
+#pragma omp parallel for schedule(static) if (par)
+      for (int64_t j = 0; j < i; ++j) {
+        const double* vrow = &v[static_cast<size_t>(j * n)];
+        double sum = 0.0;
+        for (int64_t k = 0; k <= j; ++k) sum += vrow[k] * d[k];
+        for (int64_t k = j + 1; k < i; ++k) sum += v[k * n + j] * d[k];
+        e[static_cast<size_t>(j)] = sum;
+        V(j, i) = d[j];
+      }
+      f = 0.0;
+      for (int64_t j = 0; j < i; ++j) {
+        e[static_cast<size_t>(j)] /= h;
+        f += e[static_cast<size_t>(j)] * d[j];
+      }
+      const double hh = f / (h + h);
+      for (int64_t j = 0; j < i; ++j) e[static_cast<size_t>(j)] -= hh * d[j];
+      // Symmetric rank-2 update of the lower triangle: column j is an
+      // independent strip, each element written exactly once.
+#pragma omp parallel for schedule(static) if (par)
+      for (int64_t j = 0; j < i; ++j) {
+        const double fj = d[j];
+        const double gj = e[static_cast<size_t>(j)];
+        for (int64_t k = j; k <= i - 1; ++k) {
+          V(k, j) -= (fj * e[static_cast<size_t>(k)] + gj * d[k]);
+        }
+      }
+      for (int64_t j = 0; j < i; ++j) {
+        d[j] = V(i - 1, j);
+        V(i, j) = 0.0;
+      }
+    }
+    d[i] = h;
+  }
+
+  // Accumulate transformations (Q back-transform). For each Householder
+  // vector (column i+1), every accumulated column j ≤ i is updated
+  // independently: g = Σ_k V(k,i+1)·V(k,j) then V(·,j) -= g·d — parallel
+  // over j with fixed-order sums.
+  for (int64_t i = 0; i < n - 1; ++i) {
+    V(n - 1, i) = V(i, i);
+    V(i, i) = 1.0;
+    const double h = d[i + 1];
+    if (h != 0.0) {
+      for (int64_t k = 0; k <= i; ++k) d[k] = V(k, i + 1) / h;
+#pragma omp parallel for schedule(static) if (par && i >= 96)
+      for (int64_t j = 0; j <= i; ++j) {
+        double g = 0.0;
+        for (int64_t k = 0; k <= i; ++k) g += V(k, i + 1) * V(k, j);
+        for (int64_t k = 0; k <= i; ++k) V(k, j) -= g * d[k];
+      }
+    }
+    for (int64_t k = 0; k <= i; ++k) V(k, i + 1) = 0.0;
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    d[j] = V(n - 1, j);
+    V(n - 1, j) = 0.0;
+  }
+  V(n - 1, n - 1) = 1.0;
+
+  for (int64_t i = 0; i + 1 < n; ++i) e_out[i] = e[static_cast<size_t>(i + 1)];
+}
+
+/// Mirrors the upper triangle of the m×m block at `a` (leading dim ld)
+/// into its lower triangle, restoring full symmetric storage after an
+/// upper-only rank-2nb update.
+void mirror_upper_to_lower(double* a, int64_t ld, int64_t m, bool par) {
+#pragma omp parallel for schedule(static) if (par && m >= 96)
+  for (int64_t i = 1; i < m; ++i) {
+    for (int64_t j = 0; j < i; ++j) a[i * ld + j] = a[j * ld + i];
+  }
+}
+
+// Tile edge for the symmetric matvec: 64×64 doubles = 32 KiB, L1-resident
+// while both the row-block and column-block products stream through it.
+constexpr int64_t kSymvTile = 64;
+
+// y = A·v for symmetric A (full storage, leading dimension lda) of order
+// m. Tiled so each super-diagonal tile is streamed exactly once: it
+// contributes T·v to its row block directly and Tᵀ·v into per-tile-row
+// scratch (`yt`, nt×m) that folds afterwards in ascending tile order.
+// This halves memory traffic versus a dense row sweep — the dominant cost
+// of the reduction once the trailing block outgrows cache — and every
+// output element keeps a fixed accumulation order (diagonal tile, right
+// tiles ascending, transposed partials ascending) for any thread count.
+void sym_matvec_tiled(const double* a, int64_t lda, int64_t m,
+                      const double* v, double* y, double* yt, bool par) {
+  const int64_t nt = (m + kSymvTile - 1) / kSymvTile;
+  if (nt > 1) {
+    std::memset(yt, 0, static_cast<size_t>(nt * m) * sizeof(double));
+  }
+#pragma omp parallel for schedule(dynamic, 1) if (par && nt > 2)
+  for (int64_t bi = 0; bi < nt; ++bi) {
+    const int64_t i0 = bi * kSymvTile;
+    const int64_t i1 = std::min(i0 + kSymvTile, m);
+    double* yti = yt + bi * m;
+    for (int64_t i = i0; i < i1; ++i) {
+      const double* arow = a + i * lda;
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (int64_t k = i0; k < i1; ++k) s += arow[k] * v[k];
+      y[i] = s;
+    }
+    for (int64_t bj = bi + 1; bj < nt; ++bj) {
+      const int64_t j0 = bj * kSymvTile;
+      const int64_t j1 = std::min(j0 + kSymvTile, m);
+      for (int64_t i = i0; i < i1; ++i) {
+        const double* arow = a + i * lda;
+        const double vi = v[i];
+        double s = 0.0;
+#pragma omp simd reduction(+ : s)
+        for (int64_t k = j0; k < j1; ++k) {
+          const double aik = arow[k];
+          s += aik * v[k];
+          yti[k] += aik * vi;
+        }
+        y[i] += s;
+      }
+    }
+  }
+#pragma omp parallel for schedule(static) if (par && m >= 192)
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = y[i];
+    for (int64_t b = 0; b < i / kSymvTile; ++b) acc += yt[b * m + i];
+    y[i] = acc;
+  }
+}
+
+// Blocked compact-WY reduction. `a` holds the symmetric matrix in full
+// storage on entry and Q on exit; vstore/tau capture the reflectors.
+void tridiagonalize_blocked(double* a, int64_t n, double* d, double* e) {
+  const int64_t nb_max = kTridiagPanel;
+  const bool par = tridiag_parallel(n);
+  const int64_t num_panels = (n - 1 + nb_max - 1) / nb_max;
+
+  // Reflectors in panel-blocked row-major layout: panel p's block is
+  // n×nb_max at vstore + p·n·nb_max, reflector jj of the panel in column
+  // jj (rows j+1..n, unit head stored explicitly). Row-major panels keep
+  // the per-row compensation sums over t contiguous — with a flat n×n
+  // column layout those loops are stride-n gathers and dominate the whole
+  // reduction.
+  std::vector<double> vstore(
+      static_cast<size_t>(num_panels * n * nb_max), 0.0);
+  std::vector<double> tau(static_cast<size_t>(n), 0.0);
+  std::vector<double> wpanel(static_cast<size_t>(n * nb_max), 0.0);
+  std::vector<double> vcol(static_cast<size_t>(n));
+  std::vector<double> wcol(static_cast<size_t>(n));
+  std::vector<double> scol(static_cast<size_t>(n));
+  const int64_t nt_max = (n - 1 + kSymvTile - 1) / kSymvTile;
+  std::vector<double> ytbuf(static_cast<size_t>(nt_max * (n - 1)));
+  std::vector<double> tmp1(static_cast<size_t>(nb_max));
+  std::vector<double> tmp2(static_cast<size_t>(nb_max));
+
+  for (int64_t k0 = 0; k0 + 1 < n; k0 += nb_max) {
+    const int64_t p = k0 / nb_max;
+    const int64_t nb = std::min(nb_max, n - 1 - k0);
+    double* vpanel = vstore.data() + p * n * nb_max;
+    std::memset(wpanel.data(), 0,
+                static_cast<size_t>(n * nb_max) * sizeof(double));
+
+    for (int64_t jj = 0; jj < nb; ++jj) {
+      const int64_t j = k0 + jj;
+      const int64_t m = n - 1 - j;  // reflector length
+
+      // Bring column j (rows j..n) up to date with this panel's previous
+      // reflectors: a(i,j) -= Σ_t V(i,t)·W(j,t) + W(i,t)·V(j,t).
+      if (jj > 0) {
+        const double* vrj = vpanel + j * nb_max;
+        const double* wrj = wpanel.data() + j * nb_max;
+        for (int64_t i = j; i < n; ++i) {
+          const double* vri = vpanel + i * nb_max;
+          const double* wri = wpanel.data() + i * nb_max;
+          double corr = 0.0;
+          for (int64_t t = 0; t < jj; ++t) {
+            corr += vri[t] * wrj[t] + wri[t] * vrj[t];
+          }
+          a[i * n + j] -= corr;
+        }
+      }
+      d[j] = a[j * n + j];
+
+      // Householder vector zeroing a(j+2.., j): x = a(j+1.., j).
+      const double* x = a + (j + 1) * n + j;
+      double norm2 = 0.0;
+      for (int64_t i = 0; i < m; ++i) norm2 += x[i * n] * x[i * n];
+      const double alpha = x[0];
+      if (norm2 == 0.0) {
+        e[j] = 0.0;
+        tau[j] = 0.0;
+        vpanel[(j + 1) * nb_max + jj] = 1.0;
+        continue;
+      }
+      const double beta = -std::copysign(std::sqrt(norm2), alpha);
+      tau[j] = (beta - alpha) / beta;
+      const double inv = 1.0 / (alpha - beta);
+      vcol[0] = 1.0;
+      for (int64_t i = 1; i < m; ++i) vcol[i] = x[i * n] * inv;
+      for (int64_t i = 0; i < m; ++i) {
+        vpanel[(j + 1 + i) * nb_max + jj] = vcol[i];
+      }
+      e[j] = beta;
+
+      // w = tau·(A_true·v) − ½tau·(wᵀv)·v, with A_true reconstructed from
+      // the stored (stale-within-panel) trailing block plus the V/W
+      // compensation terms tmp1 = Wᵀv, tmp2 = Vᵀv.
+      for (int64_t t = 0; t < jj; ++t) tmp1[t] = tmp2[t] = 0.0;
+      for (int64_t i = 0; i < m; ++i) {
+        const double vi = vcol[i];
+        const double* wri = wpanel.data() + (j + 1 + i) * nb_max;
+        const double* vri = vpanel + (j + 1 + i) * nb_max;
+        for (int64_t t = 0; t < jj; ++t) {
+          tmp1[t] += wri[t] * vi;
+          tmp2[t] += vri[t] * vi;
+        }
+      }
+      sym_matvec_tiled(a + (j + 1) * n + (j + 1), n, m, vcol.data(),
+                       scol.data(), ytbuf.data(), par);
+#pragma omp parallel for schedule(static) if (par && m >= 96)
+      for (int64_t i = 0; i < m; ++i) {
+        const double* vri = vpanel + (j + 1 + i) * nb_max;
+        const double* wri = wpanel.data() + (j + 1 + i) * nb_max;
+        double corr = 0.0;
+        for (int64_t t = 0; t < jj; ++t) {
+          corr += vri[t] * tmp1[t] + wri[t] * tmp2[t];
+        }
+        wcol[i] = tau[j] * (scol[i] - corr);
+      }
+      double wv = 0.0;
+      for (int64_t i = 0; i < m; ++i) wv += wcol[i] * vcol[i];
+      const double half = 0.5 * tau[j] * wv;
+      for (int64_t i = 0; i < m; ++i) {
+        wpanel[(j + 1 + i) * nb_max + jj] = wcol[i] - half * vcol[i];
+      }
+    }
+
+    // Trailing rank-2·nb update A[k1:, k1:] −= V·Wᵀ + W·Vᵀ: two
+    // upper-triangle gemms through the packed driver, then a mirror to
+    // restore full symmetric storage for the next panel's matvecs.
+    const int64_t k1 = k0 + nb;
+    const int64_t mt = n - k1;
+    if (mt > 0) {
+      const OpViewT<double> vsub{vpanel + k1 * nb_max, nb_max, false};
+      const OpViewT<double> vsub_t{vpanel + k1 * nb_max, nb_max, true};
+      const OpViewT<double> wsub{wpanel.data() + k1 * nb_max, nb_max, false};
+      const OpViewT<double> wsub_t{wpanel.data() + k1 * nb_max, nb_max, true};
+      double* atrail = a + k1 * n + k1;
+      gemm_driver<double>(-1.0, vsub, wsub_t, atrail, n, mt, mt, nb,
+                          /*upper_only=*/true);
+      gemm_driver<double>(-1.0, wsub, vsub_t, atrail, n, mt, mt, nb,
+                          /*upper_only=*/true);
+      mirror_upper_to_lower(atrail, n, mt, par);
+    }
+  }
+  d[n - 1] = a[(n - 1) * n + (n - 1)];
+
+  // Form Q = H_0·H_1···H_{n-2} in place: seed the identity, then apply
+  // each panel's I − V·T·Vᵀ from the left in descending panel order. A
+  // panel only touches rows/columns k0+1..n (columns ≤ k0 are still unit
+  // vectors at that point), so the gemms shrink as the sweep ascends.
+  std::memset(a, 0, static_cast<size_t>(n * n) * sizeof(double));
+  for (int64_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+
+  std::vector<double> gram(static_cast<size_t>(nb_max * nb_max));
+  std::vector<double> twy(static_cast<size_t>(nb_max * nb_max));
+  std::vector<double> xbuf(static_cast<size_t>(nb_max * n));
+  std::vector<double> ybuf(static_cast<size_t>(nb_max * n));
+
+  for (int64_t p = num_panels - 1; p >= 0; --p) {
+    const int64_t k0 = p * nb_max;
+    const int64_t nb = std::min(nb_max, n - 1 - k0);
+    const int64_t m = n - 1 - k0;  // rows k0+1..n
+    const double* vpanel = vstore.data() + p * n * nb_max;
+
+    // T (dlarft forward/columnwise): T(t,t) = tau_t and
+    // T(0:t, t) = −tau_t·T(0:t,0:t)·(VᵀV)(0:t, t).
+    std::memset(gram.data(), 0,
+                static_cast<size_t>(nb * nb) * sizeof(double));
+    const OpViewT<double> vsub{vpanel + (k0 + 1) * nb_max, nb_max, false};
+    const OpViewT<double> vsub_t{vpanel + (k0 + 1) * nb_max, nb_max, true};
+    gemm_driver<double>(1.0, vsub_t, vsub, gram.data(), nb, nb, nb, m,
+                        /*upper_only=*/false);
+    for (int64_t t = 0; t < nb; ++t) {
+      for (int64_t s = 0; s < t; ++s) {
+        double acc = 0.0;
+        for (int64_t r = s; r < t; ++r) {
+          acc += twy[s * nb + r] * gram[r * nb + t];
+        }
+        twy[s * nb + t] = -tau[k0 + t] * acc;
+      }
+      twy[t * nb + t] = tau[k0 + t];
+      for (int64_t s = t + 1; s < nb; ++s) twy[s * nb + t] = 0.0;
+    }
+
+    // Q_sub −= V·(T·(Vᵀ·Q_sub)) over rows/cols k0+1..n.
+    double* qsub = a + (k0 + 1) * n + (k0 + 1);
+    std::memset(xbuf.data(), 0, static_cast<size_t>(nb * m) * sizeof(double));
+    gemm_driver<double>(1.0, vsub_t, OpViewT<double>{qsub, n, false},
+                        xbuf.data(), m, nb, m, m, /*upper_only=*/false);
+    std::memset(ybuf.data(), 0, static_cast<size_t>(nb * m) * sizeof(double));
+    gemm_accum<double>(1.0, twy.data(), nb, false, xbuf.data(), m, false,
+                       ybuf.data(), m, nb, m, nb);
+    gemm_accum<double>(-1.0, vpanel + (k0 + 1) * nb_max, nb_max, false,
+                       ybuf.data(), m, false, qsub, n, m, m, nb);
+  }
+}
+
+}  // namespace
+
+void tridiagonalize(double* a, int64_t n, double* d, double* e) {
+  if (n == 0) return;
+  if (n == 1) {
+    d[0] = a[0];
+    a[0] = 1.0;
+    return;
+  }
+  if (n < kTridiagBlockedMin) {
+    tridiagonalize_unblocked(a, n, d, e);
+  } else {
+    tridiagonalize_blocked(a, n, d, e);
+  }
+}
+
+}  // namespace dkfac::linalg::detail

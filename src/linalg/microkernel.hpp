@@ -1,22 +1,31 @@
-// Register-blocked GEMM micro-kernel (Goto/BLIS-style innermost loop).
+// Register-blocked GEMM micro-kernels (Goto/BLIS-style innermost loop).
 //
-// The macro-kernel in blas.cpp feeds packed, transpose-normalized panels
-// (see pack.hpp) to one of two interchangeable micro-kernels that compute a
-// kMR×kNR accumulator tile over a KC-long k-slab:
+// The shared macro-kernel in gemm_driver.hpp feeds packed,
+// transpose-normalized panels (see pack.hpp) to one of two interchangeable
+// micro-kernels per scalar type, each computing an MR×NR accumulator tile
+// over a KC-long k-slab:
 //
-//   - an AVX2/FMA intrinsics kernel (6×16 tile = 12 ymm accumulators, the
-//     classic fp32 shape that saturates both FMA ports), compiled when the
+//   - AVX2/FMA intrinsics kernels — fp32 6×16 (12 ymm accumulators, the
+//     classic shape that saturates both FMA ports) and fp64 6×8 (the same
+//     12-accumulator structure at 4 doubles per ymm) — compiled when the
 //     translation unit is built with -mavx2 -mfma (CMake option
 //     DKFAC_NATIVE_ARCH), and
 //   - a portable `#pragma omp simd` fallback with the identical accumulation
 //     pattern, used on builds without those ISA extensions.
 //
-// Both kernels accumulate every output element strictly in ascending-k
+// The fp32 instance carries the GEMM/SYRK public kernels; the fp64 instance
+// carries the decomposition internals (blocked Householder
+// tridiagonalization, divide-and-conquer back-multiplication, blocked
+// triangular inverse), which run in double for the same reason the original
+// EISPACK-style solvers did: K-FAC factors are near-singular FP32
+// accumulations.
+//
+// All kernels accumulate every output element strictly in ascending-k
 // order, so a given build produces bitwise-identical results regardless of
 // OMP_NUM_THREADS (threads only partition *which* tiles they compute, never
-// the per-element reduction order). The two kernels are NOT bitwise
-// identical to each other — FMA contracts the multiply-add — which is fine:
-// determinism is per build, not across ISAs.
+// the per-element reduction order). The intrinsics and portable kernels are
+// NOT bitwise identical to each other — FMA contracts the multiply-add —
+// which is fine: determinism is per build, not across ISAs.
 //
 // Everything here is `static inline` on purpose: a TU compiled without AVX2
 // (e.g. a test exercising the portable path) must get its own portable copy
@@ -24,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
@@ -32,38 +42,69 @@
 
 namespace dkfac::linalg::detail {
 
-/// Micro-tile rows (broadcast dimension of the packed A sliver).
-inline constexpr int64_t kMR = 6;
-/// Micro-tile columns (vector dimension of the packed B sliver).
-inline constexpr int64_t kNR = 16;
+/// Per-scalar micro-tile shape: kMr broadcast rows × kNr vector columns.
+template <typename T>
+struct MicroTile;
+template <>
+struct MicroTile<float> {
+  static constexpr int64_t kMr = 6;
+  static constexpr int64_t kNr = 16;
+};
+template <>
+struct MicroTile<double> {
+  static constexpr int64_t kMr = 6;
+  static constexpr int64_t kNr = 8;
+};
 
-/// Cache blocking: MC×KC A-panels (per thread, ~96 KB → L2) and KC×NC
-/// B-panels (~1 MB → L3), KC deep enough to amortize the tile load/store.
-inline constexpr int64_t kMC = 96;
-inline constexpr int64_t kKC = 256;
-inline constexpr int64_t kNC = 1024;
+/// Cache blocking per scalar: MC×KC A-panels (per thread → L2) and KC×NC
+/// B-panels (→ L3). The double parameters halve KC/NC so the panel *byte*
+/// footprint matches the float configuration.
+template <typename T>
+struct GemmBlocking;
+template <>
+struct GemmBlocking<float> {
+  static constexpr int64_t kMc = 96;
+  static constexpr int64_t kKc = 256;
+  static constexpr int64_t kNc = 1024;
+};
+template <>
+struct GemmBlocking<double> {
+  static constexpr int64_t kMc = 96;
+  static constexpr int64_t kKc = 128;
+  static constexpr int64_t kNc = 512;
+};
 
-/// acc[r*kNR + c] += Σ_k ap[k*kMR + r] · bp[k*kNR + c], k ascending.
-/// `ap` is an A sliver (kMR floats per k step), `bp` a B sliver (kNR floats
-/// per k step); both are padded with zeros past the valid rows/columns.
+/// fp32 tile shape aliases (the original names; used by the public kernels).
+inline constexpr int64_t kMR = MicroTile<float>::kMr;
+inline constexpr int64_t kNR = MicroTile<float>::kNr;
+inline constexpr int64_t kMC = GemmBlocking<float>::kMc;
+inline constexpr int64_t kKC = GemmBlocking<float>::kKc;
+inline constexpr int64_t kNC = GemmBlocking<float>::kNc;
+
+/// acc[r*kNr + c] += Σ_k ap[k*kMr + r] · bp[k*kNr + c], k ascending.
+/// `ap` is an A sliver (kMr scalars per k step), `bp` a B sliver (kNr
+/// scalars per k step); both are padded with zeros past the valid
+/// rows/columns.
+template <typename T>
 [[maybe_unused]] static inline void microkernel_portable(int64_t kc,
-                                                         const float* ap,
-                                                         const float* bp,
-                                                         float* acc) {
+                                                         const T* ap,
+                                                         const T* bp, T* acc) {
+  constexpr int64_t mr = MicroTile<T>::kMr;
+  constexpr int64_t nr = MicroTile<T>::kNr;
   for (int64_t k = 0; k < kc; ++k) {
-    const float* a = ap + k * kMR;
-    const float* b = bp + k * kNR;
-    for (int64_t r = 0; r < kMR; ++r) {
-      const float av = a[r];
-      float* row = acc + r * kNR;
+    const T* a = ap + k * mr;
+    const T* b = bp + k * nr;
+    for (int64_t r = 0; r < mr; ++r) {
+      const T av = a[r];
+      T* row = acc + r * nr;
 #pragma omp simd
-      for (int64_t c = 0; c < kNR; ++c) row[c] += av * b[c];
+      for (int64_t c = 0; c < nr; ++c) row[c] += av * b[c];
     }
   }
 }
 
 #ifdef DKFAC_MICROKERNEL_AVX2
-/// AVX2/FMA instance of the same accumulation: 6 broadcast rows × two
+/// AVX2/FMA fp32 instance of the same accumulation: 6 broadcast rows × two
 /// 8-float vectors = 12 live ymm accumulators + 2 B vectors + 1 broadcast.
 [[maybe_unused]] static inline void microkernel_avx2(int64_t kc,
                                                      const float* ap,
@@ -118,19 +159,82 @@ inline constexpr int64_t kNC = 1024;
   _mm256_storeu_ps(acc + 5 * kNR, c50);
   _mm256_storeu_ps(acc + 5 * kNR + 8, c51);
 }
+
+/// AVX2/FMA fp64 instance: the same 12-accumulator structure, 6 broadcast
+/// rows × two 4-double vectors covering the 8-column tile.
+[[maybe_unused]] static inline void microkernel_avx2_f64(int64_t kc,
+                                                         const double* ap,
+                                                         const double* bp,
+                                                         double* acc) {
+  constexpr int64_t mr = MicroTile<double>::kMr;
+  constexpr int64_t nr = MicroTile<double>::kNr;
+  __m256d c00 = _mm256_loadu_pd(acc + 0 * nr);
+  __m256d c01 = _mm256_loadu_pd(acc + 0 * nr + 4);
+  __m256d c10 = _mm256_loadu_pd(acc + 1 * nr);
+  __m256d c11 = _mm256_loadu_pd(acc + 1 * nr + 4);
+  __m256d c20 = _mm256_loadu_pd(acc + 2 * nr);
+  __m256d c21 = _mm256_loadu_pd(acc + 2 * nr + 4);
+  __m256d c30 = _mm256_loadu_pd(acc + 3 * nr);
+  __m256d c31 = _mm256_loadu_pd(acc + 3 * nr + 4);
+  __m256d c40 = _mm256_loadu_pd(acc + 4 * nr);
+  __m256d c41 = _mm256_loadu_pd(acc + 4 * nr + 4);
+  __m256d c50 = _mm256_loadu_pd(acc + 5 * nr);
+  __m256d c51 = _mm256_loadu_pd(acc + 5 * nr + 4);
+  for (int64_t k = 0; k < kc; ++k) {
+    const double* a = ap + k * mr;
+    const double* b = bp + k * nr;
+    const __m256d b0 = _mm256_loadu_pd(b);
+    const __m256d b1 = _mm256_loadu_pd(b + 4);
+    __m256d av = _mm256_broadcast_sd(a + 0);
+    c00 = _mm256_fmadd_pd(av, b0, c00);
+    c01 = _mm256_fmadd_pd(av, b1, c01);
+    av = _mm256_broadcast_sd(a + 1);
+    c10 = _mm256_fmadd_pd(av, b0, c10);
+    c11 = _mm256_fmadd_pd(av, b1, c11);
+    av = _mm256_broadcast_sd(a + 2);
+    c20 = _mm256_fmadd_pd(av, b0, c20);
+    c21 = _mm256_fmadd_pd(av, b1, c21);
+    av = _mm256_broadcast_sd(a + 3);
+    c30 = _mm256_fmadd_pd(av, b0, c30);
+    c31 = _mm256_fmadd_pd(av, b1, c31);
+    av = _mm256_broadcast_sd(a + 4);
+    c40 = _mm256_fmadd_pd(av, b0, c40);
+    c41 = _mm256_fmadd_pd(av, b1, c41);
+    av = _mm256_broadcast_sd(a + 5);
+    c50 = _mm256_fmadd_pd(av, b0, c50);
+    c51 = _mm256_fmadd_pd(av, b1, c51);
+  }
+  _mm256_storeu_pd(acc + 0 * nr, c00);
+  _mm256_storeu_pd(acc + 0 * nr + 4, c01);
+  _mm256_storeu_pd(acc + 1 * nr, c10);
+  _mm256_storeu_pd(acc + 1 * nr + 4, c11);
+  _mm256_storeu_pd(acc + 2 * nr, c20);
+  _mm256_storeu_pd(acc + 2 * nr + 4, c21);
+  _mm256_storeu_pd(acc + 3 * nr, c30);
+  _mm256_storeu_pd(acc + 3 * nr + 4, c31);
+  _mm256_storeu_pd(acc + 4 * nr, c40);
+  _mm256_storeu_pd(acc + 4 * nr + 4, c41);
+  _mm256_storeu_pd(acc + 5 * nr, c50);
+  _mm256_storeu_pd(acc + 5 * nr + 4, c51);
+}
 #endif  // DKFAC_MICROKERNEL_AVX2
 
-/// The micro-kernel this TU's build flags select.
-[[maybe_unused]] static inline void microkernel(int64_t kc, const float* ap,
-                                                const float* bp, float* acc) {
+/// The micro-kernel this TU's build flags select for scalar type T.
+template <typename T>
+[[maybe_unused]] static inline void microkernel(int64_t kc, const T* ap,
+                                                const T* bp, T* acc) {
 #ifdef DKFAC_MICROKERNEL_AVX2
-  microkernel_avx2(kc, ap, bp, acc);
+  if constexpr (std::is_same_v<T, float>) {
+    microkernel_avx2(kc, ap, bp, acc);
+  } else {
+    microkernel_avx2_f64(kc, ap, bp, acc);
+  }
 #else
-  microkernel_portable(kc, ap, bp, acc);
+  microkernel_portable<T>(kc, ap, bp, acc);
 #endif
 }
 
-/// True when this TU was compiled with the AVX2/FMA micro-kernel.
+/// True when this TU was compiled with the AVX2/FMA micro-kernels.
 [[maybe_unused]] static inline bool microkernel_is_avx2() {
 #ifdef DKFAC_MICROKERNEL_AVX2
   return true;

@@ -1,14 +1,18 @@
-// Panel packing for the Goto-style GEMM in blas.cpp.
+// Panel packing for the Goto-style GEMM driver (gemm_driver.hpp).
 //
-// The packers copy an MC×KC block of op(A) into kMR-row slivers and a KC×NC
-// block of op(B) into kNR-column slivers, normalizing the transpose away:
+// The packers copy an MC×KC block of op(A) into kMr-row slivers and a KC×NC
+// block of op(B) into kNr-column slivers, normalizing the transpose away:
 // after packing, all four Trans combinations feed the micro-kernel the same
 // contiguous layout, so transposed operands cost a strided *pack* (O(mk))
 // instead of strided reads in the O(mnk) inner loop. Partial slivers at the
-// matrix edge are zero-padded — the micro-kernel always runs full kMR×kNR
+// matrix edge are zero-padded — the micro-kernel always runs full kMr×kNr
 // tiles and the epilogue discards the padded rows/columns (0·0
 // contributions, so padding never perturbs valid elements, including
 // NaN/Inf propagation from real data).
+//
+// Everything is templated on the scalar: the fp32 instantiation backs the
+// public gemm/syrk kernels, the fp64 one the decomposition internals. The
+// sliver widths come from MicroTile<T> (microkernel.hpp).
 #pragma once
 
 #include <algorithm>
@@ -20,72 +24,80 @@ namespace dkfac::linalg::detail {
 
 /// Read-only view of op(X) for a row-major matrix X with leading dimension
 /// `ld`: element (i, j) of the *logical* (post-transpose) operand.
-struct OpView {
-  const float* data;
+template <typename T>
+struct OpViewT {
+  const T* data;
   int64_t ld;
   bool trans;
 
-  float at(int64_t i, int64_t j) const {
+  T at(int64_t i, int64_t j) const {
     return trans ? data[j * ld + i] : data[i * ld + j];
   }
 };
 
+/// fp32 alias — the name the public kernels and tests use.
+using OpView = OpViewT<float>;
+
 /// Pack rows [i0, i0+mc) × k-slab [k0, k0+kc) of op(A) into `buf`:
-/// sliver s (rows i0+s·kMR …) stores kMR consecutive rows k-major, i.e.
-/// buf[s·kMR·kc + k·kMR + r] = op(A)(i0 + s·kMR + r, k0 + k).
-inline void pack_a(const OpView& a, int64_t i0, int64_t mc, int64_t k0,
-                   int64_t kc, float* buf) {
-  for (int64_t s0 = 0; s0 < mc; s0 += kMR) {
-    const int64_t mr = std::min(kMR, mc - s0);
-    float* dst = buf + s0 * kc;
+/// sliver s (rows i0+s·kMr …) stores kMr consecutive rows k-major, i.e.
+/// buf[s·kMr·kc + k·kMr + r] = op(A)(i0 + s·kMr + r, k0 + k).
+template <typename T>
+inline void pack_a(const OpViewT<T>& a, int64_t i0, int64_t mc, int64_t k0,
+                   int64_t kc, T* buf) {
+  constexpr int64_t mr_tile = MicroTile<T>::kMr;
+  for (int64_t s0 = 0; s0 < mc; s0 += mr_tile) {
+    const int64_t mr = std::min(mr_tile, mc - s0);
+    T* dst = buf + s0 * kc;
     if (a.trans) {
       // op(A)(i, k) = data[k·ld + i]: each k step is contiguous in i, which
       // is exactly the sliver layout — straight copies.
       for (int64_t k = 0; k < kc; ++k) {
-        const float* src = a.data + (k0 + k) * a.ld + i0 + s0;
-        float* out = dst + k * kMR;
+        const T* src = a.data + (k0 + k) * a.ld + i0 + s0;
+        T* out = dst + k * mr_tile;
         for (int64_t r = 0; r < mr; ++r) out[r] = src[r];
-        for (int64_t r = mr; r < kMR; ++r) out[r] = 0.0f;
+        for (int64_t r = mr; r < mr_tile; ++r) out[r] = T(0);
       }
     } else {
       // Row-major rows: read each row contiguously, scatter into the
-      // sliver (stride kMR writes stay inside one hot cache block).
+      // sliver (stride kMr writes stay inside one hot cache block).
       for (int64_t r = 0; r < mr; ++r) {
-        const float* src = a.data + (i0 + s0 + r) * a.ld + k0;
-        for (int64_t k = 0; k < kc; ++k) dst[k * kMR + r] = src[k];
+        const T* src = a.data + (i0 + s0 + r) * a.ld + k0;
+        for (int64_t k = 0; k < kc; ++k) dst[k * mr_tile + r] = src[k];
       }
-      for (int64_t r = mr; r < kMR; ++r) {
-        for (int64_t k = 0; k < kc; ++k) dst[k * kMR + r] = 0.0f;
+      for (int64_t r = mr; r < mr_tile; ++r) {
+        for (int64_t k = 0; k < kc; ++k) dst[k * mr_tile + r] = T(0);
       }
     }
   }
 }
 
 /// Pack k-slab [k0, k0+kc) × columns [j0, j0+nc) of op(B) into `buf`:
-/// sliver t (columns j0+t·kNR …) stores kNR consecutive columns k-major,
-/// i.e. buf[t·kNR·kc + k·kNR + c] = op(B)(k0 + k, j0 + t·kNR + c).
-inline void pack_b(const OpView& b, int64_t k0, int64_t kc, int64_t j0,
-                   int64_t nc, float* buf) {
-  for (int64_t t0 = 0; t0 < nc; t0 += kNR) {
-    const int64_t nr = std::min(kNR, nc - t0);
-    float* dst = buf + t0 * kc;
+/// sliver t (columns j0+t·kNr …) stores kNr consecutive columns k-major,
+/// i.e. buf[t·kNr·kc + k·kNr + c] = op(B)(k0 + k, j0 + t·kNr + c).
+template <typename T>
+inline void pack_b(const OpViewT<T>& b, int64_t k0, int64_t kc, int64_t j0,
+                   int64_t nc, T* buf) {
+  constexpr int64_t nr_tile = MicroTile<T>::kNr;
+  for (int64_t t0 = 0; t0 < nc; t0 += nr_tile) {
+    const int64_t nr = std::min(nr_tile, nc - t0);
+    T* dst = buf + t0 * kc;
     if (b.trans) {
       // op(B)(k, j) = data[j·ld + k]: each column j is contiguous in k;
       // read column-wise, scatter into the sliver.
       for (int64_t c = 0; c < nr; ++c) {
-        const float* src = b.data + (j0 + t0 + c) * b.ld + k0;
-        for (int64_t k = 0; k < kc; ++k) dst[k * kNR + c] = src[k];
+        const T* src = b.data + (j0 + t0 + c) * b.ld + k0;
+        for (int64_t k = 0; k < kc; ++k) dst[k * nr_tile + c] = src[k];
       }
-      for (int64_t c = nr; c < kNR; ++c) {
-        for (int64_t k = 0; k < kc; ++k) dst[k * kNR + c] = 0.0f;
+      for (int64_t c = nr; c < nr_tile; ++c) {
+        for (int64_t k = 0; k < kc; ++k) dst[k * nr_tile + c] = T(0);
       }
     } else {
       // Row-major rows of B are contiguous in j — straight copies.
       for (int64_t k = 0; k < kc; ++k) {
-        const float* src = b.data + (k0 + k) * b.ld + j0 + t0;
-        float* out = dst + k * kNR;
+        const T* src = b.data + (k0 + k) * b.ld + j0 + t0;
+        T* out = dst + k * nr_tile;
         for (int64_t c = 0; c < nr; ++c) out[c] = src[c];
-        for (int64_t c = nr; c < kNR; ++c) out[c] = 0.0f;
+        for (int64_t c = nr; c < nr_tile; ++c) out[c] = T(0);
       }
     }
   }

@@ -1,0 +1,437 @@
+// Tridiagonal eigensolvers (stage 2 of sym_eig).
+//
+//   - tridiag_eig_ql: implicit-shift QL with eigenvector rotation
+//     accumulation (EISPACK tql2). O(n³) but with a small constant — the
+//     base case of the divide-and-conquer recursion and the whole solver
+//     for small orders.
+//   - tridiag_eig_dc: Cuppen divide-and-conquer. T splits as
+//     diag(T1~, T2~) + ρ·u·uᵀ; after solving both halves, the merge
+//     diagonalizes D + w·wᵀ via the secular equation 1 + Σ w_k²/(δ_k−λ)=0
+//     (safeguarded Newton per root, brackets from eigenvalue interlacing),
+//     with dlaed2-style deflation first: negligible-coupling entries and
+//     Givens-rotated near-equal diagonal pairs drop out of the secular
+//     system entirely — on clustered K-FAC spectra most of the merge
+//     deflates and the O(K²) secular work collapses. Eigenvector updates
+//     (the actual O(n³)) are dense products through the packed fp64 gemm
+//     driver. The w vector is recomputed from the solved roots
+//     (Gu–Eisenstat) so eigenvectors stay orthogonal even for tightly
+//     clustered roots.
+//
+// Determinism: recursion structure, deflation decisions, and root
+// bracketing depend only on the input; per-root/per-vector parallel loops
+// give each output to exactly one thread with fixed-order (or fixed-width
+// simd) sums; products use the deterministic gemm driver. Results are
+// bitwise invariant to OMP_NUM_THREADS.
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/eigen_detail.hpp"
+#include "linalg/gemm_driver.hpp"
+#include "linalg/threading.hpp"
+
+namespace dkfac::linalg::detail {
+
+namespace {
+
+double hypot2(double x, double y) { return std::sqrt(x * x + y * y); }
+
+/// Secular root t of f(λ) = 1 + Σ_k w2[k]/(delta[k] − λ), delta strictly
+/// ascending, w2 > 0, rho = Σ w2. Root t lies in (delta[t], delta[t+1])
+/// — or (delta[K−1], delta[K−1] + rho] for the last one. Returned as an
+/// origin index plus offset (λ = delta[origin] + mu) so later differences
+/// λ − delta[i] evaluate without cancellation.
+struct SecRoot {
+  int64_t origin;
+  double mu;
+};
+
+void secular_eval(const double* delta, const double* w2, int64_t K, int64_t o,
+                  double mu, double* f_out, double* df_out) {
+  const double d0 = delta[o];
+  double f = 1.0;
+  double df = 0.0;
+#pragma omp simd reduction(+ : f, df)
+  for (int64_t k = 0; k < K; ++k) {
+    const double diff = (delta[k] - d0) - mu;
+    const double t = w2[k] / diff;
+    f += t;
+    df += t / diff;
+  }
+  *f_out = f;
+  *df_out = df;
+}
+
+SecRoot secular_root(const double* delta, const double* w2, int64_t K,
+                     double rho, int64_t t) {
+  int64_t o;
+  double lo;
+  double hi;
+  if (t < K - 1) {
+    // f is increasing across (delta[t], delta[t+1]) with poles at both
+    // ends; its sign at the midpoint picks which end the root hugs — that
+    // end becomes the shift origin so mu stays well-scaled.
+    const double gap = delta[t + 1] - delta[t];
+    double f;
+    double df;
+    secular_eval(delta, w2, K, t, 0.5 * gap, &f, &df);
+    if (f >= 0.0) {
+      o = t;
+      lo = 0.0;
+      hi = 0.5 * gap;
+    } else {
+      o = t + 1;
+      lo = -0.5 * gap;
+      hi = 0.0;
+    }
+  } else {
+    // Last root: f(delta[K−1] + rho) = 1 + Σ w2/(neg, |·| ≥ rho) ≥ 0.
+    o = K - 1;
+    lo = 0.0;
+    hi = rho;
+  }
+
+  double mu = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 80; ++iter) {
+    double f;
+    double df;
+    secular_eval(delta, w2, K, o, mu, &f, &df);
+    if (f >= 0.0) {
+      hi = mu;
+    } else {
+      lo = mu;
+    }
+    double next = mu - f / df;  // Newton; f increasing & convex near root
+    if (!(next > lo) || !(next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - mu) <=
+        2.0 * DBL_EPSILON * std::abs(next) + 2.0 * DBL_MIN) {
+      mu = next;
+      break;
+    }
+    mu = next;
+  }
+  if (mu == 0.0) mu = 0.5 * (lo + hi);
+  return {o, mu};
+}
+
+/// Merge step: the region q (rows×rows at leading dim ldq, rows = n of
+/// this subproblem) currently holds diag(Q1, Q2); d holds both halves'
+/// eigenvalues; the coupling is rho·u·uᵀ with u = e_{m−1} ± e_m. On
+/// return d ascends and q holds the subproblem's eigenvectors.
+void dc_merge(double* d, int64_t n, int64_t m, double beta, double* q,
+              int64_t ldq) {
+  const double rho_raw = std::abs(beta);
+  const double zsign = beta >= 0.0 ? 1.0 : -1.0;
+
+  // z = Q̂ᵀu: last row of Q1, ± first row of Q2.
+  std::vector<double> z(static_cast<size_t>(n));
+  for (int64_t j = 0; j < m; ++j) z[j] = q[(m - 1) * ldq + j];
+  for (int64_t j = m; j < n; ++j) z[j] = zsign * q[m * ldq + j];
+
+  double zn2 = 0.0;
+  for (int64_t j = 0; j < n; ++j) zn2 += z[j] * z[j];
+  double rho = 0.0;
+  if (zn2 > 0.0 && rho_raw > 0.0) {
+    rho = rho_raw * zn2;  // after z is scaled to unit norm
+    const double inv = 1.0 / std::sqrt(zn2);
+    for (int64_t j = 0; j < n; ++j) z[j] *= inv;
+  }
+
+  double dmax = 0.0;
+  double zmax = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    dmax = std::max(dmax, std::abs(d[j]));
+    zmax = std::max(zmax, std::abs(z[j]));
+  }
+  const double tol = 8.0 * DBL_EPSILON * std::max(dmax, rho * zmax);
+
+  // Deflation sweep in ascending-d order (dlaed2): entries with negligible
+  // coupling |rho·z| keep their eigenpair as-is; near-equal diagonal pairs
+  // are Givens-rotated so one of them decouples. `survivors` feed the
+  // secular system.
+  std::vector<int64_t> ord(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) ord[j] = j;
+  std::sort(ord.begin(), ord.end(), [&](int64_t x, int64_t y) {
+    return d[x] != d[y] ? d[x] < d[y] : x < y;
+  });
+
+  std::vector<int64_t> survivors;
+  std::vector<int64_t> deflated;
+  survivors.reserve(static_cast<size_t>(n));
+  deflated.reserve(static_cast<size_t>(n));
+  for (int64_t oi = 0; oi < n; ++oi) {
+    const int64_t j = ord[oi];
+    if (std::abs(rho * z[j]) <= tol) {
+      deflated.push_back(j);
+      continue;
+    }
+    if (!survivors.empty()) {
+      const int64_t k = survivors.back();
+      const double tau = hypot2(z[k], z[j]);
+      const double c = z[j] / tau;
+      const double s = z[k] / tau;
+      if (std::abs(c * s * (d[j] - d[k])) <= tol) {
+        // Rotate (k, j) so z_k → 0: z ← Gᵀz, d-block ← GᵀDG (off-diagonal
+        // |cs·Δd| ≤ tol is the deflation error), q columns ← qG.
+        z[j] = tau;
+        z[k] = 0.0;
+        const double dk = d[k];
+        const double dj = d[j];
+        d[k] = c * c * dk + s * s * dj;
+        d[j] = s * s * dk + c * c * dj;
+        for (int64_t r = 0; r < n; ++r) {
+          const double qk = q[r * ldq + k];
+          const double qj = q[r * ldq + j];
+          q[r * ldq + k] = c * qk - s * qj;
+          q[r * ldq + j] = s * qk + c * qj;
+        }
+        survivors.pop_back();
+        deflated.push_back(k);
+      }
+    }
+    survivors.push_back(j);
+  }
+
+  const int64_t K = static_cast<int64_t>(survivors.size());
+  std::vector<double> lam;
+  std::vector<double> qs;
+  if (K > 0) {
+    // Rotations nudge d values, so re-establish ascending survivor order.
+    std::sort(survivors.begin(), survivors.end(), [&](int64_t x, int64_t y) {
+      return d[x] != d[y] ? d[x] < d[y] : x < y;
+    });
+    std::vector<double> delta(static_cast<size_t>(K));
+    std::vector<double> w(static_cast<size_t>(K));
+    std::vector<double> w2(static_cast<size_t>(K));
+    const double sr = std::sqrt(rho);
+    double w2sum = 0.0;
+    for (int64_t t = 0; t < K; ++t) {
+      delta[t] = d[survivors[t]];
+      w[t] = sr * z[survivors[t]];  // fold rho into the rank-one vector
+      w2[t] = w[t] * w[t];
+      w2sum += w2[t];
+    }
+
+    const bool par = parallel_kernels_allowed() && K >= 64;
+    std::vector<SecRoot> roots(static_cast<size_t>(K));
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t t = 0; t < K; ++t) {
+      roots[t] = secular_root(delta.data(), w2.data(), K, w2sum, t);
+    }
+    lam.resize(static_cast<size_t>(K));
+    for (int64_t t = 0; t < K; ++t) lam[t] = delta[roots[t].origin] + roots[t].mu;
+
+    // Gu–Eisenstat: recompute ŵ so the solved roots are *exact* for
+    // D + ŵŵᵀ — eigenvectors built from ŵ are orthogonal to machine
+    // precision even when roots cluster. All factors are positive by
+    // interlacing; signs are inherited from w.
+    std::vector<double> what(static_cast<size_t>(K));
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t i = 0; i < K; ++i) {
+      const double di = delta[i];
+      double p = (delta[roots[K - 1].origin] - di) + roots[K - 1].mu;
+      for (int64_t j = 0; j < i; ++j) {
+        p *= ((delta[roots[j].origin] - di) + roots[j].mu) / (delta[j] - di);
+      }
+      for (int64_t j = i; j < K - 1; ++j) {
+        p *= ((delta[roots[j].origin] - di) + roots[j].mu) /
+             (delta[j + 1] - di);
+      }
+      what[i] = std::copysign(std::sqrt(std::abs(p)), w[i]);
+    }
+
+    // Normalized eigenvectors of D + ŵŵᵀ, columns of S (K×K):
+    // S(i,t) ∝ ŵ_i/(δ_i − λ_t).
+    std::vector<double> smat(static_cast<size_t>(K * K));
+#pragma omp parallel for schedule(static) if (par)
+    for (int64_t t = 0; t < K; ++t) {
+      const double d0 = delta[roots[t].origin];
+      const double mu = roots[t].mu;
+      double norm2 = 0.0;
+      for (int64_t i = 0; i < K; ++i) {
+        const double v = what[i] / ((delta[i] - d0) - mu);
+        smat[i * K + t] = v;
+        norm2 += v * v;
+      }
+      const double inv = 1.0 / std::sqrt(norm2);
+      for (int64_t i = 0; i < K; ++i) smat[i * K + t] *= inv;
+    }
+
+    // Back-multiply: QS = [q columns of survivors] · S through the packed
+    // fp64 driver — the O(n·K²) heavy part of the merge.
+    std::vector<double> gmat(static_cast<size_t>(n * K));
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t t = 0; t < K; ++t) {
+        gmat[r * K + t] = q[r * ldq + survivors[t]];
+      }
+    }
+    qs.assign(static_cast<size_t>(n * K), 0.0);
+    gemm_accum<double>(1.0, gmat.data(), K, false, smat.data(), K, false,
+                       qs.data(), K, n, K, K);
+  }
+
+  // Assemble: deflated eigenpairs (current q columns) merge-sorted with
+  // the K secular ones. Ties break (value, secular-first, index) so the
+  // order is a pure function of the input.
+  struct Entry {
+    double value;
+    int64_t kind;  // 0 = secular (index into qs), 1 = deflated (q column)
+    int64_t idx;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int64_t t = 0; t < K; ++t) entries.push_back({lam[t], 0, t});
+  for (int64_t i : deflated) entries.push_back({d[i], 1, i});
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.value != b.value) return a.value < b.value;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.idx < b.idx;
+  });
+
+  std::vector<double> qnew(static_cast<size_t>(n * n));
+  for (int64_t pos = 0; pos < n; ++pos) {
+    const Entry& en = entries[pos];
+    if (en.kind == 0) {
+      for (int64_t r = 0; r < n; ++r) qnew[r * n + pos] = qs[r * K + en.idx];
+    } else {
+      for (int64_t r = 0; r < n; ++r) {
+        qnew[r * n + pos] = q[r * ldq + en.idx];
+      }
+    }
+  }
+  for (int64_t pos = 0; pos < n; ++pos) d[pos] = entries[pos].value;
+  for (int64_t r = 0; r < n; ++r) {
+    std::memcpy(q + r * ldq, qnew.data() + r * n,
+                static_cast<size_t>(n) * sizeof(double));
+  }
+}
+
+void dc_solve(double* d, double* e, int64_t n, double* q, int64_t ldq) {
+  if (n <= kDcBase) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) q[i * ldq + j] = i == j ? 1.0 : 0.0;
+    }
+    tridiag_eig_ql(d, e, n, q, n, ldq);
+    return;
+  }
+
+  const int64_t m = n / 2;
+  const double beta = e[m - 1];
+  // Cuppen split: T = diag(T1~, T2~) + β-signed rank-one coupling; both
+  // halves shed |β| from the boundary diagonal entries.
+  d[m - 1] -= std::abs(beta);
+  d[m] -= std::abs(beta);
+  dc_solve(d, e, m, q, ldq);
+  dc_solve(d + m, e + m, n - m, q + m * ldq + m, ldq);
+  // Children wrote their diagonal blocks; the merge reads full columns.
+  for (int64_t i = 0; i < m; ++i) {
+    std::memset(q + i * ldq + m, 0, static_cast<size_t>(n - m) * sizeof(double));
+  }
+  for (int64_t i = m; i < n; ++i) {
+    std::memset(q + i * ldq, 0, static_cast<size_t>(m) * sizeof(double));
+  }
+  dc_merge(d, n, m, beta, q, ldq);
+}
+
+}  // namespace
+
+void tridiag_eig_ql(double* d, double* e, int64_t n, double* q, int64_t rows,
+                    int64_t ldq) {
+  if (n == 0) return;
+  auto V = [&](int64_t i, int64_t j) -> double& { return q[i * ldq + j]; };
+  e[n - 1] = 0.0;
+
+  double f = 0.0;
+  double tst1 = 0.0;
+  const double eps = std::pow(2.0, -52.0);
+  for (int64_t l = 0; l < n; ++l) {
+    tst1 = std::max(tst1, std::abs(d[l]) + std::abs(e[l]));
+    int64_t m = l;
+    while (m < n) {
+      if (std::abs(e[m]) <= eps * tst1) break;
+      ++m;
+    }
+
+    if (m > l) {
+      int iter = 0;
+      do {
+        ++iter;
+        DKFAC_CHECK(iter <= 80) << "QL iteration failed to converge";
+
+        double g = d[l];
+        double p = (d[l + 1] - g) / (2.0 * e[l]);
+        double r = hypot2(p, 1.0);
+        if (p < 0) r = -r;
+        d[l] = e[l] / (p + r);
+        d[l + 1] = e[l] * (p + r);
+        const double dl1 = d[l + 1];
+        double h = g - d[l];
+        for (int64_t i = l + 2; i < n; ++i) d[i] -= h;
+        f += h;
+
+        p = d[m];
+        double c = 1.0;
+        double c2 = c;
+        double c3 = c;
+        const double el1 = e[l + 1];
+        double s = 0.0;
+        double s2 = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          c3 = c2;
+          c2 = c;
+          s2 = s;
+          g = c * e[i];
+          h = c * p;
+          r = hypot2(p, e[i]);
+          e[i + 1] = s * r;
+          s = e[i] / r;
+          c = p / r;
+          p = c * d[i] - s * g;
+          d[i + 1] = h + s * (c * g + s * d[i]);
+
+          // Rotate eigenvector columns i, i+1. At O(rows) per rotation a
+          // fork/join costs more than the rotation at any K-FAC factor
+          // size — deliberately serial.
+          for (int64_t k = 0; k < rows; ++k) {
+            const double vk1 = V(k, i + 1);
+            const double vk0 = V(k, i);
+            V(k, i + 1) = s * vk0 + c * vk1;
+            V(k, i) = c * vk0 - s * vk1;
+          }
+        }
+        p = -s * s2 * c3 * el1 * e[l] / dl1;
+        e[l] = s * p;
+        d[l] = c * p;
+      } while (std::abs(e[l]) > eps * tst1);
+    }
+    d[l] += f;
+    e[l] = 0.0;
+  }
+
+  // Sort eigenvalues ascending, permuting eigenvector columns.
+  for (int64_t i = 0; i < n - 1; ++i) {
+    int64_t k = i;
+    double p = d[i];
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (d[j] < p) {
+        k = j;
+        p = d[j];
+      }
+    }
+    if (k != i) {
+      d[k] = d[i];
+      d[i] = p;
+      for (int64_t j = 0; j < rows; ++j) std::swap(V(j, i), V(j, k));
+    }
+  }
+}
+
+void tridiag_eig_dc(double* d, double* e, int64_t n, double* q, int64_t ldq) {
+  if (n == 0) return;
+  dc_solve(d, e, n, q, ldq);
+}
+
+}  // namespace dkfac::linalg::detail

@@ -1,0 +1,188 @@
+// run_decomposition_batch contract tests: bitwise equivalence with the
+// plain serial loop, thread-count invariance, the serialized-context
+// fallback, report counters, and exception propagation order.
+#include "linalg/batch.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/threading.hpp"
+#include "tensor/random.hpp"
+
+namespace dkfac::linalg {
+namespace {
+
+Tensor random_spd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor m = Tensor::randn(Shape{n, n}, rng);
+  Tensor a = matmul(m, m, Trans::kYes, Trans::kNo);
+  add_diagonal(a, 0.1f * static_cast<float>(n));
+  return a;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// A rank-ish factor multiset straddling kInterDimMax: two large factors
+// that should keep intra-matrix parallelism, four small ones that should
+// run concurrently under SerialKernelScope.
+const std::vector<int64_t> kDims{16, 300, 64, 128, 272, 33};
+
+std::vector<SymEig> run_batched(const std::vector<Tensor>& factors) {
+  std::vector<SymEig> out(factors.size());
+  std::vector<BatchTask> tasks;
+  tasks.reserve(factors.size());
+  for (size_t i = 0; i < factors.size(); ++i) {
+    tasks.push_back(
+        {factors[i].dim(0), [&, i] { out[i] = sym_eig(factors[i]); }});
+  }
+  run_decomposition_batch(tasks);
+  return out;
+}
+
+TEST(DecompositionBatch, EmptyBatch) {
+  std::vector<BatchTask> tasks;
+  const BatchReport report = run_decomposition_batch(tasks);
+  EXPECT_EQ(report.intra_tasks, 0);
+  EXPECT_EQ(report.inter_tasks, 0);
+}
+
+TEST(DecompositionBatch, BitwiseMatchesSerialLoop) {
+  std::vector<Tensor> factors;
+  for (size_t i = 0; i < kDims.size(); ++i) {
+    factors.push_back(random_spd(kDims[i], 40 + i));
+  }
+  std::vector<SymEig> serial(factors.size());
+  for (size_t i = 0; i < factors.size(); ++i) serial[i] = sym_eig(factors[i]);
+
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(4);
+  const std::vector<SymEig> batched = run_batched(factors);
+  omp_set_num_threads(original);
+
+  for (size_t i = 0; i < factors.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(serial[i].values, batched[i].values))
+        << "values differ for factor " << i << " (dim " << kDims[i] << ")";
+    EXPECT_TRUE(bitwise_equal(serial[i].vectors, batched[i].vectors))
+        << "vectors differ for factor " << i << " (dim " << kDims[i] << ")";
+  }
+}
+
+TEST(DecompositionBatch, ThreadCountInvariance) {
+  std::vector<Tensor> factors;
+  for (size_t i = 0; i < kDims.size(); ++i) {
+    factors.push_back(random_spd(kDims[i], 50 + i));
+  }
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const std::vector<SymEig> base = run_batched(factors);
+  for (int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    const std::vector<SymEig> run = run_batched(factors);
+    for (size_t i = 0; i < factors.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(base[i].values, run[i].values) &&
+                  bitwise_equal(base[i].vectors, run[i].vectors))
+          << "factor " << i << " differs at " << threads << " threads";
+    }
+  }
+  omp_set_num_threads(original);
+}
+
+TEST(DecompositionBatch, ReportSplitsOnDim) {
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(4);
+  std::vector<BatchTask> tasks;
+  for (int64_t dim : {300, 256, 100, 50}) {
+    tasks.push_back({dim, [] {}});
+  }
+  const BatchReport report = run_decomposition_batch(tasks);
+  omp_set_num_threads(original);
+  EXPECT_EQ(report.intra_tasks, 2);  // 300 and 256 (≥ kInterDimMax)
+  EXPECT_EQ(report.inter_tasks, 2);
+}
+
+TEST(DecompositionBatch, SerializedContextFallsBackToSerialLoop) {
+  // Inside SerialKernelScope (the AsyncExecutor-worker situation) the
+  // batch must degrade to an in-order loop: no concurrent fan-out, and
+  // the report shows every task as intra (ambient-context) work.
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(4);
+  std::vector<int64_t> order;
+  std::vector<BatchTask> tasks;
+  for (int64_t i = 0; i < 4; ++i) {
+    tasks.push_back({i % 2 == 0 ? 300 : 50, [&order, i] { order.push_back(i); }});
+  }
+  SerialKernelScope scope;
+  const BatchReport report = run_decomposition_batch(tasks);
+  omp_set_num_threads(original);
+  EXPECT_EQ(report.intra_tasks, 4);
+  EXPECT_EQ(report.inter_tasks, 0);
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(DecompositionBatch, LargeTasksRunInSubmissionOrder) {
+  // All-large batch: tasks run one at a time in submission order (shared
+  // vector append is safe), regardless of dim.
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(4);
+  std::vector<int64_t> order;
+  std::vector<BatchTask> tasks;
+  for (int64_t i = 0; i < 3; ++i) {
+    tasks.push_back({512 - 100 * i, [&order, i] { order.push_back(i); }});
+  }
+  const BatchReport report = run_decomposition_batch(tasks);
+  omp_set_num_threads(original);
+  EXPECT_EQ(report.intra_tasks, 3);
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(DecompositionBatch, ExceptionFromLowestIndexWinsAndOthersStillRun) {
+  // Two failing tasks: every task must still run (no tear-down), and the
+  // rethrown exception must be the lowest-submission-index failure — the
+  // same error a serial in-order loop would have surfaced first.
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(4);
+  std::vector<int> ran(5, 0);
+  std::vector<BatchTask> tasks;
+  for (int64_t i = 0; i < 5; ++i) {
+    tasks.push_back({10 * (i + 1), [&ran, i] {
+                       ran[static_cast<size_t>(i)] = 1;
+                       if (i == 1) throw std::runtime_error("task1");
+                       if (i == 3) throw std::runtime_error("task3");
+                     }});
+  }
+  try {
+    run_decomposition_batch(tasks);
+    FAIL() << "expected the batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task1");
+  }
+  omp_set_num_threads(original);
+  EXPECT_EQ(ran, (std::vector<int>(5, 1)));
+}
+
+TEST(DecompositionBatch, NonPositiveDefiniteFactorSurfacesError) {
+  // The realistic failure: cholesky on an indefinite factor throws from
+  // inside a batched task and must reach the caller.
+  Tensor bad = Tensor::eye(32);
+  bad.at(7, 7) = -1.0f;
+  Tensor good = random_spd(24, 60);
+  std::vector<BatchTask> tasks;
+  tasks.push_back({24, [&] { (void)spd_inverse(good); }});
+  tasks.push_back({32, [&] { (void)cholesky(bad); }});
+  EXPECT_THROW(run_decomposition_batch(tasks), Error);
+}
+
+}  // namespace
+}  // namespace dkfac::linalg

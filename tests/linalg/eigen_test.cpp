@@ -1,11 +1,15 @@
 #include "linalg/eigen.hpp"
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_detail.hpp"
 #include "tensor/random.hpp"
 
 namespace dkfac::linalg {
@@ -107,8 +111,14 @@ TEST_P(SymEigSizes, AgreesWithJacobiOracle) {
   }
 }
 
+// 96 and above take the divide-and-conquer tridiagonal path (kDcMin = 96);
+// 128 and above additionally take the blocked compact-WY reduction
+// (kTridiagBlockedMin = 128); 200 exercises both with ragged panels.
+static_assert(detail::kDcMin == 96 && detail::kTridiagBlockedMin == 128,
+              "update the size list to keep both dispatch paths covered");
 INSTANTIATE_TEST_SUITE_P(Sizes, SymEigSizes,
-                         ::testing::Values<int64_t>(2, 3, 5, 8, 16, 33, 64));
+                         ::testing::Values<int64_t>(2, 3, 5, 8, 16, 33, 64,
+                                                    96, 128, 200));
 
 TEST(SymEig, SpdHasPositiveEigenvalues) {
   Tensor a = random_spd(20, 9);
@@ -168,6 +178,150 @@ TEST(SymEig, ClusteredEigenvalues) {
   SymEig e = sym_eig(a);
   EXPECT_NEAR(e.values[3], 2.0f, 1e-5f);
   EXPECT_NEAR(e.values[0], 1.0f, 1e-5f);
+}
+
+// Plants a known spectrum: A = Q·diag(vals)·Qᵀ with Q the (orthonormal)
+// eigenbasis of an unrelated random symmetric matrix.
+Tensor planted_spectrum(const std::vector<float>& vals, uint64_t seed) {
+  const int64_t n = static_cast<int64_t>(vals.size());
+  Tensor q = sym_eig(random_symmetric(n, seed)).vectors;
+  Tensor qd = q;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) qd.at(i, j) *= vals[static_cast<size_t>(j)];
+  }
+  Tensor a = matmul(qd, q, Trans::kNo, Trans::kYes);
+  symmetrize(a);
+  return a;
+}
+
+TEST(SymEigDc, RepeatedEigenvaluesDeflate) {
+  // Three heavily repeated eigenvalues at a divide-and-conquer order: the
+  // dlaed2 deflation stage must collapse the duplicates at every merge
+  // without corrupting the eigenbasis.
+  const int64_t n = 160;
+  std::vector<float> vals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    vals[static_cast<size_t>(i)] = i < 50 ? 1.0f : (i < 100 ? 2.0f : 3.0f);
+  }
+  Tensor a = planted_spectrum(vals, 71);
+  SymEig e = sym_eig(a);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(e.values[i], vals[static_cast<size_t>(i)], 2e-3f)
+        << "eigenvalue " << i;
+  }
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)),
+            1e-4f * static_cast<float>(n));
+  EXPECT_LT(frobenius_distance(a, eig_reconstruct(e)),
+            1e-4f * static_cast<float>(n));
+}
+
+TEST(SymEigDc, ClusteredSpectrumBlockedPath) {
+  // Near-degenerate clusters (spacing ~1e-6 of the norm) at a blocked
+  // reduction order — stresses the secular solver's interior-root
+  // bracketing where poles nearly collide.
+  const int64_t n = 128;
+  std::vector<float> vals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float center = static_cast<float>(1 + i / 32);  // 4 clusters
+    vals[static_cast<size_t>(i)] =
+        center + 1e-6f * static_cast<float>(i % 32);
+  }
+  Tensor a = planted_spectrum(vals, 72);
+  SymEig e = sym_eig(a);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(e.values[i], vals[static_cast<size_t>(i)], 2e-3f);
+  }
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)),
+            1e-4f * static_cast<float>(n));
+}
+
+TEST(SymEigDc, RankDeficientGramBlockedPath) {
+  // Gram matrix of 40 samples in 128 dims: rank ≤ 40, so at least 88
+  // eigenvalues are exactly-zero in exact arithmetic — the K-FAC factor
+  // structure early in training, at an order that takes the blocked +
+  // divide-and-conquer path.
+  const int64_t n = 128, r = 40;
+  Rng rng(73);
+  Tensor m = Tensor::randn(Shape{n, r}, rng);
+  Tensor a = matmul(m, m, Trans::kNo, Trans::kYes);
+  symmetrize(a);
+  SymEig e = sym_eig(a);
+  for (int64_t i = 0; i < n - r; ++i) {
+    EXPECT_NEAR(e.values[i], 0.0f, 1e-3f) << "null-space eigenvalue " << i;
+  }
+  float trace = 0.0f;
+  for (int64_t i = 0; i < n; ++i) trace += a.at(i, i);
+  EXPECT_NEAR(e.values.sum(), trace, 1e-2f * trace);
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)),
+            1e-4f * static_cast<float>(n));
+}
+
+TEST(SymEigDc, ZeroMatrix) {
+  const int64_t n = 96;
+  SymEig e = sym_eig(Tensor::zeros(Shape{n, n}));
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(e.values[i], 0.0f);
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)), 1e-4f);
+}
+
+TEST(SymEigDc, NearZeroMatrixStaysFinite) {
+  // Entries near the fp32 denormal range: the rank-one merge weights are
+  // ~0 and the safeguarded secular solver must not divide through them.
+  const int64_t n = 100;
+  Tensor a = random_symmetric(n, 74);
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= 1e-20f;
+  SymEig e = sym_eig(a);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(std::isfinite(e.values[i]));
+    EXPECT_NEAR(e.values[i], 0.0f, 1e-18f);
+  }
+  Tensor vtv = matmul(e.vectors, e.vectors, Trans::kYes, Trans::kNo);
+  EXPECT_LT(frobenius_distance(vtv, Tensor::eye(n)),
+            1e-4f * static_cast<float>(n));
+}
+
+// ---- bitwise thread invariance --------------------------------------------
+// The decomposition contract: every parallel loop assigns each output
+// element to exactly one thread with a fixed-order inner sum, so
+// OMP_NUM_THREADS changes scheduling only, never a single bit of output.
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(ThreadInvariance, SymEigBitwiseAcrossThreadCounts) {
+  // 160 ≥ kTridiagBlockedMin and ≥ kDcMin: both parallel stages engaged.
+  Tensor a = random_symmetric(160, 75);
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const SymEig base = sym_eig(a);
+  for (int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    const SymEig run = sym_eig(a);
+    EXPECT_TRUE(bitwise_equal(run.values, base.values))
+        << "eigenvalues differ at " << threads << " threads";
+    EXPECT_TRUE(bitwise_equal(run.vectors, base.vectors))
+        << "eigenvectors differ at " << threads << " threads";
+  }
+  omp_set_num_threads(original);
+}
+
+TEST(ThreadInvariance, SpdInverseBitwiseAcrossThreadCounts) {
+  Tensor a = random_spd(192, 76);
+  const int original = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const Tensor base = spd_inverse(a);
+  for (int threads : {2, 8}) {
+    omp_set_num_threads(threads);
+    EXPECT_TRUE(bitwise_equal(spd_inverse(a), base))
+        << "spd_inverse differs at " << threads << " threads";
+  }
+  omp_set_num_threads(original);
 }
 
 }  // namespace
