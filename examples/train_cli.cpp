@@ -6,12 +6,20 @@
 //             [--epochs N] [--batch N] [--lr F]
 //             [--update-freq N] [--rank-fraction F] [--overlap]
 //             [--factor-precision fp32|fp16|bf16] [--save PATH]
+//             [--trace PATH] [--metrics PATH]
+//             [--log-level debug|info|warn|error]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
 // optionally writes a checkpoint. `--backend thread` (default) runs the
 // ranks as threads in this process; `--backend socket` forks N real
 // processes that communicate over localhost TCP (net::SocketComm) —
 // bitwise-identical results, genuinely distributed execution.
+//
+// Observability: `--trace PATH` writes a Chrome trace_event JSON
+// (load in Perfetto / chrome://tracing). Under `--backend socket` each
+// child rank writes PATH with a `.rank<N>` infix and the launcher merges
+// them into PATH on a barrier-aligned epoch. `--metrics PATH` streams
+// rank 0's per-step metrics as JSONL.
 #include <omp.h>
 
 #include <algorithm>
@@ -19,11 +27,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "comm/net/launch.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "nn/resnet.hpp"
 #include "nn/serialize.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "train/trainer.hpp"
 
 namespace {
@@ -43,6 +55,9 @@ struct CliOptions {
   bool overlap = false;
   std::string factor_precision = "fp32";
   std::string save_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string log_level = "info";
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -52,7 +67,9 @@ struct CliOptions {
                "[--backend thread|socket] [--workers N | --ranks N] "
                "[--epochs N] [--batch N] [--lr F] "
                "[--update-freq N] [--rank-fraction F] [--overlap] "
-               "[--factor-precision fp32|fp16|bf16] [--save PATH]\n");
+               "[--factor-precision fp32|fp16|bf16] [--save PATH] "
+               "[--trace PATH] [--metrics PATH] "
+               "[--log-level debug|info|warn|error]\n");
   std::exit(2);
 }
 
@@ -78,6 +95,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--overlap") opts.overlap = true;
     else if (arg == "--factor-precision") opts.factor_precision = next();
     else if (arg == "--save") opts.save_path = next();
+    else if (arg == "--trace") opts.trace_path = next();
+    else if (arg == "--metrics") opts.metrics_path = next();
+    else if (arg == "--log-level") opts.log_level = next();
     else usage_and_exit();
   }
   return opts;
@@ -88,6 +108,10 @@ CliOptions parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace dkfac;
   const CliOptions cli = parse(argc, argv);
+
+  const std::optional<LogLevel> level = parse_log_level(cli.log_level);
+  if (!level) usage_and_exit();
+  log_level() = *level;
 
   data::SyntheticSpec spec;
   spec.num_classes = 10;
@@ -132,6 +156,7 @@ int main(int argc, char** argv) {
 
   config.overlap_comm = cli.overlap;
   config.use_kfac = cli.use_kfac;
+  config.metrics_path = cli.metrics_path;
   if (cli.use_kfac) {
     config.kfac.damping = 0.003f;
     config.kfac.with_update_freq(cli.update_freq);
@@ -208,17 +233,53 @@ int main(int argc, char** argv) {
       // Rank 0's child prints the metrics; the launcher propagates the
       // first failing child's exit code.
       const int workers = cli.workers;
-      return comm::net::run_ranks(workers, [&](comm::Communicator& comm) {
+      const int status = comm::net::run_ranks(workers, [&](comm::Communicator& comm) {
         omp_set_num_threads(train::omp_threads_per_rank(workers));
+        if (!cli.trace_path.empty()) {
+          // Common epoch across ranks: everyone leaves the barrier within
+          // microseconds and CLOCK_MONOTONIC is system-wide, so per-rank
+          // timestamps line up after the merge.
+          obs::Tracer::set_thread_name("rank.main");
+          obs::Tracer::instance().enable();
+          comm.barrier();
+          obs::Tracer::instance().set_epoch_now();
+        }
         const train::TrainResult result =
             train::train_with_comm(factory, spec, config, comm);
         if (comm.rank() == 0) print_result(result);
+        if (!cli.trace_path.empty()) {
+          obs::ExportOptions trace_opts;
+          trace_opts.pid = comm.rank();
+          trace_opts.process_name = "rank " + std::to_string(comm.rank());
+          obs::write_chrome_trace_file(
+              obs::rank_trace_path(cli.trace_path, comm.rank()), trace_opts);
+        }
         return 0;
       });
+      if (status == 0 && !cli.trace_path.empty()) {
+        std::vector<std::string> rank_traces;
+        for (int r = 0; r < workers; ++r) {
+          rank_traces.push_back(obs::rank_trace_path(cli.trace_path, r));
+        }
+        obs::merge_chrome_traces(rank_traces, cli.trace_path);
+        std::printf("trace written to %s (merged from %d ranks)\n",
+                    cli.trace_path.c_str(), workers);
+      }
+      return status;
+    }
+    if (!cli.trace_path.empty()) {
+      obs::Tracer::set_thread_name("main");
+      obs::Tracer::instance().enable();
     }
     const train::TrainResult result =
         train::train_distributed(factory, spec, config, cli.workers);
     print_result(result);
+    if (!cli.trace_path.empty()) {
+      obs::ExportOptions trace_opts;
+      trace_opts.process_name = "train_cli";
+      obs::write_chrome_trace_file(cli.trace_path, trace_opts);
+      std::printf("trace written to %s\n", cli.trace_path.c_str());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "linalg/threading.hpp"
+#include "obs/trace.hpp"
 
 namespace dkfac::comm {
 
@@ -46,6 +47,9 @@ void AsyncExecutor::submit(const BufferView& view, ReduceOp op) {
 }
 
 void AsyncExecutor::wait() {
+  // Span brackets the same interval as stats_.wait_seconds, so the trace
+  // aggregate and the timer agree (derive_overlap relies on that).
+  DKFAC_TRACE_SCOPE("comm.async.wait");
   const auto start = Clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const uint64_t ticket = ++next_ticket_;
@@ -81,6 +85,12 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
   if (!failed) {
     try {
       for (const Item& item : batch) fusion_.add(item.view);
+      // Span brackets the same interval as stats_.comm_seconds (see wait()).
+      DKFAC_TRACE_SCOPE_NAMED(flush_span, "comm.async.flush");
+      if (flush_span.active()) {
+        flush_span.set_arg("bytes", batch_bytes);
+        flush_span.set_arg("tensors", batch.size());
+      }
       const auto start = Clock::now();
       fusion_.execute(batch.front().op);
       const double elapsed = seconds_since(start);
@@ -102,6 +112,7 @@ void AsyncExecutor::execute_batch(std::vector<Item>& batch,
 }
 
 void AsyncExecutor::worker_loop() {
+  obs::Tracer::set_thread_name("comm.worker");
   // This worker runs concurrently with the submitting thread's OMP team: any
   // linalg kernel reached from here (codec folds, backend reductions) must
   // not open a second team on top of it.

@@ -5,6 +5,7 @@
 
 #include "comm/net/rendezvous.hpp"
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dkfac::comm::net {
 
@@ -150,10 +151,25 @@ void SocketComm::allreduce(std::span<float> data, ReduceOp op) {
   // Zero-length reductions carry no payload and (unlike ThreadComm, where
   // every collective doubles as a barrier) need no synchronisation.
   if (size_ == 1 || data.empty()) return;
-  if (allreduce_algorithm(data.size_bytes()) == AllreduceAlgo::kRingCirculation) {
+  const bool circulation =
+      allreduce_algorithm(data.size_bytes()) == AllreduceAlgo::kRingCirculation;
+  // The span is named after the algorithm the cost model picked, so the
+  // timeline shows the choice per call, not just the op.
+  DKFAC_TRACE_SCOPE_ID(
+      span, !obs::Tracer::enabled() ? 0
+            : circulation
+                ? DKFAC_TRACE_INTERN("socket.allreduce.ring")
+                : DKFAC_TRACE_INTERN("socket.allreduce.pipelined_ring"));
+  const uint64_t wire_before = stats_.wire_sent_bytes + stats_.wire_recv_bytes;
+  if (circulation) {
     ring_circulation_allreduce(data, op);
   } else {
     pipelined_ring_allreduce(data, op);
+  }
+  if (span.active()) {
+    span.set_arg("bytes", data.size_bytes());
+    span.set_arg("wire_bytes", stats_.wire_sent_bytes +
+                                   stats_.wire_recv_bytes - wire_before);
   }
 }
 
@@ -262,6 +278,8 @@ void SocketComm::allgather_into(std::span<const float> send,
     recv.assign(send.begin(), send.end());
     return;
   }
+  DKFAC_TRACE_SCOPE_NAMED(span, "socket.allgather.ring");
+  const uint64_t wire_before = stats_.wire_sent_bytes + stats_.wire_recv_bytes;
 
   // Ring circulation with variable block sizes — the frame length prefix
   // carries each block's size, so no separate size exchange is needed, but
@@ -297,6 +315,11 @@ void SocketComm::allgather_into(std::span<const float> send,
     std::copy(b.begin(), b.end(), recv.begin() + static_cast<ptrdiff_t>(offset));
     offset += b.size();
   }
+  if (span.active()) {
+    span.set_arg("bytes", send.size_bytes());
+    span.set_arg("wire_bytes", stats_.wire_sent_bytes +
+                                   stats_.wire_recv_bytes - wire_before);
+  }
 }
 
 void SocketComm::broadcast(std::span<float> data, int root) {
@@ -307,6 +330,8 @@ void SocketComm::broadcast(std::span<float> data, int root) {
   // other ranks contributed nothing (see CommStats).
   if (rank_ == root) stats_.broadcast_bytes += data.size_bytes();
   if (size_ == 1) return;
+  DKFAC_TRACE_SCOPE_NAMED(span, "socket.broadcast.tree");
+  const uint64_t wire_before = stats_.wire_sent_bytes + stats_.wire_recv_bytes;
 
   // Binomial tree over virtual ranks (vrank 0 = root).
   const int p = size_;
@@ -328,10 +353,16 @@ void SocketComm::broadcast(std::span<float> data, int root) {
     }
     mask >>= 1;
   }
+  if (span.active()) {
+    span.set_arg("bytes", data.size_bytes());
+    span.set_arg("wire_bytes", stats_.wire_sent_bytes +
+                                   stats_.wire_recv_bytes - wire_before);
+  }
 }
 
 void SocketComm::barrier() {
   if (size_ == 1) return;
+  DKFAC_TRACE_SCOPE("socket.barrier");
   // Dissemination barrier: ⌈log₂ p⌉ full-duplex rounds; after round k every
   // rank has transitively heard from all ranks within distance 2^(k+1).
   const int p = size_;

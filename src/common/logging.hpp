@@ -4,8 +4,10 @@
 
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dkfac {
 
@@ -14,31 +16,41 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 LogLevel& log_level();
 
+/// Parses "debug" / "info" / "warn" / "error" (case-sensitive);
+/// std::nullopt for anything else so callers can reject bad flags.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Canonical name for a level, matching what parse_log_level accepts.
+const char* log_level_name(LogLevel level);
+
 namespace detail {
 
 std::mutex& log_mutex();
 
 class LogLine {
  public:
-  LogLine(LogLevel level, const char* tag) : level_(level) {
-    stream_ << "[" << tag << "] ";
+  // The level gate lives here, not in the destructor: a dropped line must
+  // not pay for formatting its operands either.
+  LogLine(LogLevel level, const char* tag)
+      : active_(level >= log_level()) {
+    if (active_) stream_ << "[" << tag << "] ";
   }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    stream_ << value;
+    if (active_) stream_ << value;
     return *this;
   }
 
   ~LogLine() {
-    if (level_ >= log_level()) {
+    if (active_) {
       std::lock_guard<std::mutex> lock(log_mutex());
       std::cerr << stream_.str() << "\n";
     }
   }
 
  private:
-  LogLevel level_;
+  bool active_;
   std::ostringstream stream_;
 };
 

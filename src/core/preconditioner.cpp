@@ -10,6 +10,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen.hpp"
+#include "obs/trace.hpp"
 
 namespace dkfac::kfac {
 
@@ -92,9 +93,11 @@ void KfacPreconditioner::set_async_executor(comm::AsyncExecutor* executor) {
 }
 
 void KfacPreconditioner::step() {
+  DKFAC_TRACE_SCOPE("kfac.step");
   report_ = {};
 
   if (iteration_ % options_.factor_update_freq == 0) {
+    DKFAC_TRACE_SCOPE("kfac.factor_update");
     const auto start = Clock::now();
     // A factor exchange left in flight by the previous step must fold in
     // before this step's running-average update reads the covariances.
@@ -105,6 +108,7 @@ void KfacPreconditioner::step() {
   }
 
   if (iteration_ % options_.inv_update_freq == 0) {
+    DKFAC_TRACE_SCOPE("kfac.decomposition");
     const auto start = Clock::now();
     finish_factor_comm();  // decomposition consumes the reduced factors
     update_decompositions();
@@ -113,6 +117,7 @@ void KfacPreconditioner::step() {
   }
 
   {
+    DKFAC_TRACE_SCOPE("kfac.precondition");
     const auto start = Clock::now();
     if (options_.strategy == DistributionStrategy::kLayerWise) {
       // K-FAC-lw allgathers preconditioned gradients directly on the
@@ -131,20 +136,24 @@ void KfacPreconditioner::step() {
 }
 
 void KfacPreconditioner::update_factors() {
-  // Local factor estimates folded into running averages (Eqs 16–17).
-  const float xi = options_.factor_decay;
-  for (LayerState& state : layers_) {
-    Tensor a_new = state.layer->kfac_a_factor();
-    Tensor g_new = state.layer->kfac_g_factor();
-    if (!state.a.have_cov) {
-      state.a.cov = std::move(a_new);
-      state.g.cov = std::move(g_new);
-      state.a.have_cov = state.g.have_cov = true;
-    } else {
-      state.a.cov.lerp_(1.0f - xi, xi, a_new);
-      state.g.cov.lerp_(1.0f - xi, xi, g_new);
+  {
+    DKFAC_TRACE_SCOPE("kfac.factor_stats");
+    // Local factor estimates folded into running averages (Eqs 16–17).
+    const float xi = options_.factor_decay;
+    for (LayerState& state : layers_) {
+      Tensor a_new = state.layer->kfac_a_factor();
+      Tensor g_new = state.layer->kfac_g_factor();
+      if (!state.a.have_cov) {
+        state.a.cov = std::move(a_new);
+        state.g.cov = std::move(g_new);
+        state.a.have_cov = state.g.have_cov = true;
+      } else {
+        state.a.cov.lerp_(1.0f - xi, xi, a_new);
+        state.g.cov.lerp_(1.0f - xi, xi, g_new);
+      }
     }
   }
+  DKFAC_TRACE_SCOPE_NAMED(comm_span, "kfac.factor_comm");
 
   // Allreduce all factors — Algorithm 1 line 8. With symmetric_comm only
   // the upper triangle of each factor is shipped (n(n+1)/2 of n²
@@ -280,6 +289,12 @@ void KfacPreconditioner::update_factors() {
   report_.factor_comm_async = async;
   comm_.record_factor_volume(dense_bytes, packed_bytes,
                              report_.factor_comm_bytes);
+  if (comm_span.active()) {
+    // When async, this span covers pack/encode/submit only — the wire time
+    // shows up on the comm.worker timeline (comm.async.flush spans).
+    comm_span.set_arg("bytes", report_.factor_comm_bytes);
+    comm_span.set_arg("async", async ? 1 : 0);
+  }
 }
 
 int64_t KfacPreconditioner::factor_payload_elements(int64_t f) const {
@@ -289,6 +304,8 @@ int64_t KfacPreconditioner::factor_payload_elements(int64_t f) const {
 }
 
 void KfacPreconditioner::finish_factor_comm() {
+  if (!factor_comm_pending_ && !exchange_live_) return;
+  DKFAC_TRACE_SCOPE("kfac.factor_wait");
   if (factor_comm_pending_) {
     DKFAC_CHECK(executor_ != nullptr)
         << "async factor exchange pending without an executor";
@@ -484,6 +501,7 @@ void KfacPreconditioner::update_decompositions() {
 
 void KfacPreconditioner::exchange_decompositions() {
   if (comm_.size() == 1) return;
+  DKFAC_TRACE_SCOPE("kfac.decomp_exchange");
   const int rank = comm_.rank();
   const bool packed = pack_decompositions();
 

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "tensor/random.hpp"
 
 namespace dkfac::data {
@@ -24,6 +25,10 @@ ShardedLoader::ShardedLoader(const SyntheticImageDataset& dataset,
 }
 
 Batch ShardedLoader::batch(int64_t epoch, int64_t batch_index) const {
+  DKFAC_TRACE_SCOPE_NAMED(span, "data.load");
+  if (span.active()) {
+    span.set_arg("samples", static_cast<uint64_t>(local_batch_));
+  }
   DKFAC_CHECK(batch_index >= 0 && batch_index < batches_per_epoch_)
       << "batch index " << batch_index << " out of range";
 

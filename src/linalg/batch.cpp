@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "linalg/threading.hpp"
+#include "obs/trace.hpp"
 
 namespace dkfac::linalg {
 
@@ -24,6 +25,10 @@ BatchReport run_decomposition_batch(std::vector<BatchTask>& tasks) {
     // fan-out could only oversubscribe, so run everything in submission
     // order. Kernels keep whatever parallelism the ambient context allows.
     for (int64_t i = 0; i < n; ++i) {
+      DKFAC_TRACE_SCOPE_NAMED(span, "decomp.matrix.intra");
+      if (span.active()) {
+        span.set_arg("dim", static_cast<uint64_t>(tasks[i].dim));
+      }
       try {
         tasks[i].run();
       } catch (...) {
@@ -41,6 +46,10 @@ BatchReport run_decomposition_batch(std::vector<BatchTask>& tasks) {
     // Large factors: one at a time in submission order, each fanning out
     // through the parallel kernels.
     for (int64_t i : large) {
+      DKFAC_TRACE_SCOPE_NAMED(span, "decomp.matrix.intra");
+      if (span.active()) {
+        span.set_arg("dim", static_cast<uint64_t>(tasks[i].dim));
+      }
       try {
         tasks[i].run();
       } catch (...) {
@@ -62,6 +71,12 @@ BatchReport run_decomposition_batch(std::vector<BatchTask>& tasks) {
     for (int64_t t = 0; t < ns; ++t) {
       const int64_t i = small[static_cast<size_t>(t)];
       SerialKernelScope serial;
+      // OMP worker threads each get their own trace ring, so these spans
+      // land on distinct timelines — exactly what Perfetto should show.
+      DKFAC_TRACE_SCOPE_NAMED(span, "decomp.matrix.inter");
+      if (span.active()) {
+        span.set_arg("dim", static_cast<uint64_t>(tasks[i].dim));
+      }
       try {
         tasks[i].run();
       } catch (...) {

@@ -1,0 +1,223 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace dkfac::obs {
+namespace {
+
+// Byte sequences bracketing the traceEvents array in our own output;
+// merge_chrome_traces splices on these, so writer and merger must agree.
+constexpr const char* kHeaderPrefix = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+constexpr const char* kFooter = "\n]}\n";
+
+/// Microseconds (fractional) since the tracer epoch. Events recorded
+/// before the epoch was (re)stamped clamp to 0 rather than going huge.
+double to_us(Ticks ticks, Ticks epoch) {
+  if (ticks < epoch) return 0.0;
+  return static_cast<double>(ticks - epoch) * kSecondsPerTick * 1e6;
+}
+
+void append_event_json(std::string& out, const Tracer& tracer,
+                       const TraceEvent& event, int pid, uint32_t tid,
+                       Ticks epoch) {
+  char buf[64];
+  out += "{\"name\":\"";
+  out += json_escape(tracer.name_of(event.name));
+  out += "\",\"ph\":\"";
+  switch (event.type) {
+    case EventType::kBegin:
+      out += 'B';
+      break;
+    case EventType::kEnd:
+      out += 'E';
+      break;
+    case EventType::kInstant:
+      out += "i\",\"s\":\"t";  // thread-scoped instant
+      break;
+    case EventType::kCounter:
+      out += 'C';
+      break;
+  }
+  out += "\",\"ts\":";
+  std::snprintf(buf, sizeof(buf), "%.3f", to_us(event.ticks, epoch));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%u", pid, tid);
+  out += buf;
+  if (event.type == EventType::kCounter) {
+    // Counters carry their value as the single arg, named after the track.
+    out += ",\"args\":{\"value\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(event.arg1));
+    out += buf;
+    out += '}';
+  } else if (event.arg1_name != 0) {
+    out += ",\"args\":{\"";
+    out += json_escape(tracer.name_of(event.arg1_name));
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(event.arg1));
+    out += buf;
+    if (event.arg2_name != 0) {
+      out += ",\"";
+      out += json_escape(tracer.name_of(event.arg2_name));
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(event.arg2));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+void append_metadata_json(std::string& out, const std::string& kind,
+                          const std::string& value, int pid, uint32_t tid) {
+  char buf[48];
+  out += "{\"name\":\"";
+  out += kind;
+  out += "\",\"ph\":\"M\",\"ts\":0";
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%u", pid, tid);
+  out += buf;
+  out += ",\"args\":{\"name\":\"";
+  out += json_escape(value);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const ExportOptions& opts) {
+  const Tracer& tracer = Tracer::instance();
+  const Ticks epoch = tracer.epoch();
+  const auto threads = tracer.snapshot();
+
+  std::vector<std::string> lines;
+  const std::string process_name =
+      opts.process_name.empty() ? "rank " + std::to_string(opts.pid)
+                                : opts.process_name;
+  {
+    std::string line;
+    append_metadata_json(line, "process_name", process_name, opts.pid, 0);
+    lines.push_back(std::move(line));
+  }
+  for (const auto& thread : threads) {
+    std::string line;
+    append_metadata_json(line, "thread_name", thread.name, opts.pid,
+                         thread.tid);
+    lines.push_back(std::move(line));
+    if (thread.dropped > 0) {
+      // Make ring overflow visible in the UI instead of silently gapping.
+      std::string note = "{\"name\":\"trace.dropped_events\",\"ph\":\"C\","
+                         "\"ts\":0,\"pid\":" + std::to_string(opts.pid) +
+                         ",\"tid\":" + std::to_string(thread.tid) +
+                         ",\"args\":{\"value\":" +
+                         std::to_string(thread.dropped) + "}}";
+      lines.push_back(std::move(note));
+    }
+    for (const auto& event : thread.events) {
+      std::string line2;
+      append_event_json(line2, tracer, event, opts.pid, thread.tid, epoch);
+      lines.push_back(std::move(line2));
+    }
+  }
+
+  out << kHeaderPrefix;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0) out << ",\n";
+    out << lines[i];
+  }
+  out << kFooter;
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const ExportOptions& opts) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("obs: cannot open trace file for write: " + path);
+  write_chrome_trace(out, opts);
+  out.flush();
+  if (!out) throw Error("obs: write failed for trace file: " + path);
+}
+
+void merge_chrome_traces(const std::vector<std::string>& input_paths,
+                         const std::string& out_path) {
+  if (input_paths.empty()) {
+    throw Error("obs: merge_chrome_traces needs at least one input");
+  }
+  std::string merged = kHeaderPrefix;
+  bool first = true;
+  for (const auto& path : input_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("obs: cannot open rank trace: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const size_t begin = text.find(kHeaderPrefix);
+    const size_t end = text.rfind(kFooter);
+    if (begin != 0 || end == std::string::npos ||
+        end < std::strlen(kHeaderPrefix)) {
+      throw Error("obs: unrecognised trace format in " + path);
+    }
+    const std::string events =
+        text.substr(std::strlen(kHeaderPrefix),
+                    end - std::strlen(kHeaderPrefix));
+    if (events.empty()) continue;
+    if (!first) merged += ",\n";
+    merged += events;
+    first = false;
+  }
+  merged += kFooter;
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("obs: cannot open merged trace for write: " + out_path);
+  out << merged;
+  out.flush();
+  if (!out) throw Error("obs: write failed for merged trace: " + out_path);
+}
+
+std::string rank_trace_path(const std::string& path, int rank) {
+  const std::string suffix = ".rank" + std::to_string(rank);
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace dkfac::obs

@@ -1,0 +1,48 @@
+// Chrome trace_event JSON exporter for obs::Tracer, plus the multi-rank
+// merge used by the socket fork launcher.
+//
+// Output loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// each rank is a `pid` (named "rank N"), each thread a `tid`, timestamps
+// in microseconds relative to the tracer epoch — which every rank stamps
+// right after a barrier, so cross-rank stalls line up on one timeline.
+//
+// merge_chrome_traces() relies on the writer's exact output shape (the
+// traceEvents array is bracketed by known byte sequences) so merging is a
+// string splice — no JSON parser in the library. Tests round-trip the
+// output through a real parser to keep the shape honest.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dkfac::obs {
+
+struct ExportOptions {
+  int pid = 0;                  ///< rank id under multi-process runs
+  std::string process_name;     ///< "rank 0", ... (empty = "rank <pid>")
+};
+
+/// Writes this process's recorded events as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& out, const ExportOptions& opts = {});
+
+/// write_chrome_trace to `path`; throws dkfac::Error on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const ExportOptions& opts = {});
+
+/// Concatenates the traceEvents of several per-rank trace files (each
+/// produced by write_chrome_trace_file) into one merged trace at
+/// `out_path`. Ranks must have stamped their epochs at a common barrier
+/// for the timelines to align. Throws dkfac::Error on missing/malformed
+/// inputs or I/O failure.
+void merge_chrome_traces(const std::vector<std::string>& input_paths,
+                         const std::string& out_path);
+
+/// "/path/trace.json" + rank 2 -> "/path/trace.rank2.json" (suffix is
+/// inserted before the final extension; appended if there is none).
+std::string rank_trace_path(const std::string& path, int rank);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& text);
+
+}  // namespace dkfac::obs

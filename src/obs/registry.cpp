@@ -1,0 +1,73 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace dkfac::obs {
+
+Registry::Counter& Registry::add_counter(const std::string& name) {
+  auto [it, inserted] =
+      metrics_.emplace(name, Metric{Kind::kCounter, Counter{}, Gauge{}});
+  if (!inserted) {
+    throw Error("obs::Registry: metric name already registered: " + name);
+  }
+  return it->second.counter;
+}
+
+Registry::Gauge& Registry::add_gauge(const std::string& name) {
+  auto [it, inserted] =
+      metrics_.emplace(name, Metric{Kind::kGauge, Counter{}, Gauge{}});
+  if (!inserted) {
+    throw Error("obs::Registry: metric name already registered: " + name);
+  }
+  return it->second.gauge;
+}
+
+Registry::Counter& Registry::counter(const std::string& name) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    throw Error("obs::Registry: unknown metric: " + name);
+  }
+  if (it->second.kind != Kind::kCounter) {
+    throw Error("obs::Registry: metric is a gauge, not a counter: " + name);
+  }
+  return it->second.counter;
+}
+
+Registry::Gauge& Registry::gauge(const std::string& name) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    throw Error("obs::Registry: unknown metric: " + name);
+  }
+  if (it->second.kind != Kind::kGauge) {
+    throw Error("obs::Registry: metric is a counter, not a gauge: " + name);
+  }
+  return it->second.gauge;
+}
+
+void Registry::write_jsonl(std::ostream& out, uint64_t step) const {
+  out << "{\"step\":" << step;
+  char buf[48];
+  for (const auto& [name, metric] : metrics_) {
+    out << ",\"" << name << "\":";
+    if (metric.kind == Kind::kCounter) {
+      out << metric.counter.value();
+    } else {
+      const double v = metric.gauge.value();
+      if (!std::isfinite(v)) {
+        out << "null";
+      } else {
+        // %.17g round-trips doubles but litters the file with noise
+        // digits; %.9g keeps float32-sourced values exact and seconds at
+        // nanosecond granularity, which is all our gauges carry.
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        out << buf;
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace dkfac::obs

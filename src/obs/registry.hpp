@@ -1,0 +1,75 @@
+// Unified metrics registry: named counters (u64, monotonic by
+// convention) and gauges (double, last-value) behind stable dotted
+// names ("comm.wire.sent_bytes", "train.loss", ...). The registry
+// replaces ad-hoc struct plumbing for anything that wants to be
+// observable: register once, update through the returned handle, and
+// write_jsonl() emits one sorted JSON object per step.
+//
+// Handles are stable for the registry's lifetime (node-based storage);
+// registering the same name twice throws — two subsystems silently
+// sharing a metric is always a bug.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dkfac::obs {
+
+class Registry {
+ public:
+  class Counter {
+   public:
+    void add(uint64_t delta) { value_ += delta; }
+    void set(uint64_t value) { value_ = value; }
+    uint64_t value() const { return value_; }
+
+   private:
+    uint64_t value_ = 0;
+  };
+
+  class Gauge {
+   public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  /// Registers a metric under `name`. Throws dkfac::Error if the name is
+  /// already taken (by either kind). The reference stays valid as long
+  /// as the registry lives.
+  Counter& add_counter(const std::string& name);
+  Gauge& add_gauge(const std::string& name);
+
+  /// Lookup by name; throws dkfac::Error on unknown name or kind
+  /// mismatch. Intended for tests and one-off readers, not hot paths —
+  /// hold the handle from add_* instead.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  bool contains(const std::string& name) const {
+    return metrics_.count(name) != 0;
+  }
+  size_t size() const { return metrics_.size(); }
+
+  /// One JSON object on a single line: {"step":N,"a.b":1,...}, keys in
+  /// sorted order (std::map iteration), gauges with enough precision to
+  /// round-trip, non-finite gauges as null (JSON has no NaN).
+  void write_jsonl(std::ostream& out, uint64_t step) const;
+
+ private:
+  enum class Kind { kCounter, kGauge };
+  struct Metric {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+  };
+  // std::map: node-based (stable handle addresses) and sorted (stable
+  // JSONL key order) in one container.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace dkfac::obs

@@ -15,6 +15,8 @@
 #include "comm/thread_comm.hpp"
 #include "core/preconditioner.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "optim/adam.hpp"
 #include "optim/lars.hpp"
 #include "optim/sgd.hpp"
@@ -76,6 +78,7 @@ std::unique_ptr<AnyOptimizer> make_optimizer(const TrainConfig& config,
 
 float evaluate(nn::Layer& model, const data::SyntheticImageDataset& val,
                comm::Communicator& comm, int64_t eval_batch) {
+  DKFAC_TRACE_SCOPE("train.eval");
   model.set_training(false);
   // Rank-strided shard of the validation set.
   int64_t correct = 0;
@@ -198,8 +201,23 @@ TrainResult train_with_comm(const ModelFactory& factory,
   const auto run_start = Clock::now();
   const int64_t batches = loader.batches_per_epoch();
 
+  // Per-step metrics stream (--metrics). Observability-only: the sample
+  // timings below are taken only when the logger exists, the CommStats /
+  // ArenaStats snapshot is copied at the gradient-sync point — the one
+  // spot where the async worker is provably idle, so reading the shared
+  // counters races nothing — and no collective is added or moved.
+  // Rank 0 only: thread ranks share one config (and one filesystem), so a
+  // single writer keeps the JSONL coherent; rank 0's view is the same one
+  // train_distributed already reports.
+  std::optional<obs::StepMetricsLogger> metrics_logger;
+  if (!config.metrics_path.empty() && comm.rank() == 0) {
+    metrics_logger.emplace(config.metrics_path);
+  }
+  uint64_t global_step = 0;
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     const auto epoch_start = Clock::now();
+    DKFAC_TRACE_SCOPE("train.epoch");
 
     // Damping and update-frequency decay at epoch boundaries (paper §V-C).
     if (kfac) {
@@ -217,6 +235,12 @@ TrainResult train_with_comm(const ModelFactory& factory,
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     for (int64_t b = 0; b < batches; ++b) {
+      DKFAC_TRACE_SCOPE_NAMED(step_span, "train.step");
+      if (step_span.active()) {
+        step_span.set_arg("epoch", static_cast<uint64_t>(epoch));
+        step_span.set_arg("batch", static_cast<uint64_t>(b));
+      }
+      const auto step_start = Clock::now();
       const float frac_epoch =
           static_cast<float>(epoch) +
           static_cast<float>(b) / static_cast<float>(batches);
@@ -225,21 +249,48 @@ TrainResult train_with_comm(const ModelFactory& factory,
       if (kfac) kfac->set_lr(lr);
 
       data::Batch batch = loader.batch(epoch, b);
+      const auto t_data = Clock::now();
       model->zero_grad();
-      Tensor logits = model->forward(batch.images);
+      Tensor logits;
+      {
+        DKFAC_TRACE_SCOPE("train.forward");
+        logits = model->forward(batch.images);
+      }
+      const auto t_forward = Clock::now();
       nn::LossResult loss =
           nn::softmax_cross_entropy(logits, batch.labels, config.label_smoothing);
       // With overlap on, the readiness hooks stream per-layer gradient
       // allreduces into the executor DURING this call.
-      model->backward(loss.grad);
+      {
+        DKFAC_TRACE_SCOPE("train.backward");
+        model->backward(loss.grad);
+      }
+      const auto t_backward = Clock::now();
 
-      if (executor) {
-        executor->wait();  // optimizer.synchronize(): grads now averaged
-      } else if (grad_fusion) {
-        // Horovod's DistributedOptimizer.synchronize(): every parameter
-        // gradient rides one fused, capacity-chunked allreduce.
-        for (nn::Parameter* p : params) grad_fusion->add(p->grad);
-        grad_fusion->execute(comm::ReduceOp::kAverage);
+      {
+        DKFAC_TRACE_SCOPE("train.grad_comm");
+        if (executor) {
+          executor->wait();  // optimizer.synchronize(): grads now averaged
+        } else if (grad_fusion) {
+          // Horovod's DistributedOptimizer.synchronize(): every parameter
+          // gradient rides one fused, capacity-chunked allreduce.
+          for (nn::Parameter* p : params) grad_fusion->add(p->grad);
+          grad_fusion->execute(comm::ReduceOp::kAverage);
+        }
+      }
+      const auto t_grad = Clock::now();
+      // The async worker is provably idle here (wait() above drained it, or
+      // there is no worker): the one race-free spot to copy the shared
+      // counters. Factor comm submitted by kfac->step() below is in flight
+      // past this point and lands in the NEXT step's snapshot.
+      comm::CommStats stats_snapshot;
+      comm::ArenaStats arena_snapshot;
+      if (metrics_logger) {
+        stats_snapshot = comm.stats();
+        if (executor) stats_snapshot.async = executor->stats();
+        if (kfac) arena_snapshot += kfac->arena_stats();
+        if (executor) arena_snapshot += executor->arena_stats();
+        if (grad_fusion) arena_snapshot += grad_fusion->arena_stats();
       }
       // Warm-up ends after the first full iteration: every comm-path arena
       // has seen its peak payload (gradients, factors, staging chunks), so
@@ -250,12 +301,38 @@ TrainResult train_with_comm(const ModelFactory& factory,
         if (executor) executor->mark_steady_state();
         if (grad_fusion) grad_fusion->mark_steady_state();
       }
-      if (kfac) kfac->step();                   // preconditioner.step()
-      optimizer->step();                        // optimizer.step()
+      {
+        DKFAC_TRACE_SCOPE("train.apply");
+        if (kfac) kfac->step();                 // preconditioner.step()
+        optimizer->step();                      // optimizer.step()
+      }
+      const auto t_apply = Clock::now();
 
       loss_sum += loss.loss;
       acc_sum += nn::accuracy(logits, batch.labels);
       ++result.iterations;
+      ++global_step;
+
+      if (metrics_logger) {
+        const auto secs = [](Clock::time_point a, Clock::time_point z) {
+          return std::chrono::duration<double>(z - a).count();
+        };
+        obs::StepSample sample;
+        sample.step = global_step;
+        sample.epoch = static_cast<uint64_t>(epoch);
+        sample.loss = loss.loss;
+        sample.accuracy = acc_sum / static_cast<double>(b + 1);
+        sample.lr = lr;
+        sample.step_seconds = secs(step_start, t_apply);
+        sample.data_seconds = secs(step_start, t_data);
+        sample.forward_seconds = secs(t_data, t_forward);
+        sample.backward_seconds = secs(t_forward, t_backward);
+        sample.grad_comm_seconds = secs(t_backward, t_grad);
+        sample.apply_seconds = secs(t_grad, t_apply);
+        metrics_logger->record(sample, stats_snapshot,
+                               kfac ? &kfac->last_report() : nullptr,
+                               arena_snapshot);
+      }
     }
 
     EpochMetrics metrics;

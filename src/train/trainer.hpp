@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -64,6 +65,12 @@ struct TrainConfig {
   uint64_t model_seed = 42;
   uint64_t data_seed = 7;
   int64_t eval_batch = 256;
+
+  /// Per-step metrics as JSONL (one obs::Registry record per step) to this
+  /// path; empty = off. Observability only — enabling it never changes
+  /// training results (stats are snapshotted at the existing gradient
+  /// synchronisation point, so no extra barriers or collectives appear).
+  std::string metrics_path;
 
   /// Invoked with rank 0's trained model before the workers tear down —
   /// use it to checkpoint or inspect the final weights.
