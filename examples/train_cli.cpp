@@ -7,6 +7,7 @@
 //             [--update-freq N] [--rank-fraction F] [--overlap]
 //             [--factor-precision fp32|fp16|bf16] [--save PATH]
 //             [--trace PATH] [--metrics PATH]
+//             [--elastic CKPT] [--min-ranks N] [--straggler-slack F]
 //             [--log-level debug|info|warn|error]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
@@ -14,6 +15,13 @@
 // ranks as threads in this process; `--backend socket` forks N real
 // processes that communicate over localhost TCP (net::SocketComm) —
 // bitwise-identical results, genuinely distributed execution.
+//
+// `--elastic CKPT` runs the socket ranks under the fault-tolerant
+// supervisor instead (train/elastic.hpp): a rank dying mid-run shrinks the
+// group (down to `--min-ranks`) and training resumes from the durable
+// epoch-tagged checkpoint at CKPT. `--straggler-slack F` additionally
+// sheds a step's K-FAC factor update whenever the per-step compute-time
+// spread across ranks exceeds F seconds (works with any backend).
 //
 // Observability: `--trace PATH` writes a Chrome trace_event JSON
 // (load in Perfetto / chrome://tracing). Under `--backend socket` each
@@ -36,6 +44,7 @@
 #include "nn/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "train/elastic.hpp"
 #include "train/trainer.hpp"
 
 namespace {
@@ -57,6 +66,9 @@ struct CliOptions {
   std::string save_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string elastic_checkpoint;
+  int min_ranks = 1;
+  float straggler_slack = 0.0f;
   std::string log_level = "info";
 };
 
@@ -69,6 +81,7 @@ struct CliOptions {
                "[--update-freq N] [--rank-fraction F] [--overlap] "
                "[--factor-precision fp32|fp16|bf16] [--save PATH] "
                "[--trace PATH] [--metrics PATH] "
+               "[--elastic CKPT] [--min-ranks N] [--straggler-slack F] "
                "[--log-level debug|info|warn|error]\n");
   std::exit(2);
 }
@@ -97,6 +110,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--save") opts.save_path = next();
     else if (arg == "--trace") opts.trace_path = next();
     else if (arg == "--metrics") opts.metrics_path = next();
+    else if (arg == "--elastic") opts.elastic_checkpoint = next();
+    else if (arg == "--min-ranks") opts.min_ranks = std::atoi(next());
+    else if (arg == "--straggler-slack") opts.straggler_slack = std::atof(next());
     else if (arg == "--log-level") opts.log_level = next();
     else usage_and_exit();
   }
@@ -157,6 +173,7 @@ int main(int argc, char** argv) {
   config.overlap_comm = cli.overlap;
   config.use_kfac = cli.use_kfac;
   config.metrics_path = cli.metrics_path;
+  config.straggler_slack_s = cli.straggler_slack;
   if (cli.use_kfac) {
     config.kfac.damping = 0.003f;
     config.kfac.with_update_freq(cli.update_freq);
@@ -190,7 +207,9 @@ int main(int argc, char** argv) {
   std::printf("model=%s optimizer=%s kfac=%s backend=%s workers=%d epochs=%d "
               "global-batch=%lld comm=%s factor-precision=%s\n",
               cli.model.c_str(), cli.optimizer.c_str(),
-              cli.use_kfac ? cli.strategy.c_str() : "off", cli.backend.c_str(),
+              cli.use_kfac ? cli.strategy.c_str() : "off",
+              cli.elastic_checkpoint.empty() ? cli.backend.c_str()
+                                             : "elastic-socket",
               cli.workers, cli.epochs,
               static_cast<long long>(cli.batch * cli.workers),
               cli.overlap ? "overlapped" : "synchronous",
@@ -228,6 +247,31 @@ int main(int argc, char** argv) {
   };
 
   try {
+    if (!cli.elastic_checkpoint.empty()) {
+      // Fault-tolerant supervisor: forked socket ranks that survive rank
+      // death by re-forming and resuming from the durable checkpoint.
+      // (--trace is not merged in this mode; use --metrics to observe the
+      // elastic.* counters.)
+      train::elastic::ElasticOptions eopts;
+      eopts.initial_ranks = cli.workers;
+      eopts.min_ranks = cli.min_ranks;
+      eopts.checkpoint_path = cli.elastic_checkpoint;
+      const train::elastic::ElasticResult result =
+          train::elastic::run_elastic(factory, spec, config, eopts);
+      if (!result.completed) {
+        std::fprintf(stderr, "elastic job failed (exit code %d)\n",
+                     result.exit_code);
+        return result.exit_code == 0 ? 1 : result.exit_code;
+      }
+      std::printf("elastic job completed: world %d after %d re-formation(s), "
+                  "%llu factor step(s) shed\n",
+                  result.final_world, result.reformations,
+                  static_cast<unsigned long long>(result.skipped_factor_steps));
+      std::printf("final loss %.3f  val acc %.1f%%  checkpoint %s\n",
+                  result.final_train_loss, 100.0f * result.final_val_accuracy,
+                  cli.elastic_checkpoint.c_str());
+      return 0;
+    }
     if (cli.backend == "socket") {
       // N real processes over localhost TCP: fork, rendezvous, train.
       // Rank 0's child prints the metrics; the launcher propagates the

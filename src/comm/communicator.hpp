@@ -18,9 +18,27 @@
 
 #include "comm/codec.hpp"
 #include "comm/cost_model.hpp"
+#include "common/error.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dkfac::comm {
+
+/// A collective failed because a specific peer died or wedged (connection
+/// closed, deadline expired, mesh link down). Subclasses Error so every
+/// existing catch site keeps working; elastic callers catch this type to
+/// learn WHICH rank failed and trigger re-formation instead of aborting.
+class PeerFailure : public Error {
+ public:
+  PeerFailure(int rank, const std::string& what)
+      : Error("peer rank " + std::to_string(rank) + ": " + what),
+        rank_(rank) {}
+
+  /// The rank whose connection failed.
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
 
 /// Reduction applied by allreduce.
 enum class ReduceOp {

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "comm/net/rendezvous.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 
 namespace dkfac::comm::net {
@@ -81,20 +83,50 @@ int run_ranks(int nranks, const std::function<int(Communicator&)>& fn,
     throw;
   }
 
+  // Reap with WNOHANG polling instead of blocking in rank order: a crashed
+  // rank 3 must not leave ranks 0–2 reap-blocked until their comm deadline
+  // expires. The first ABNORMAL exit records the failure code and SIGTERMs
+  // the survivors (SIGKILL after the grace period), so the launcher
+  // returns promptly with the real failure, not a cascade of timeouts.
   int first_failure = 0;
-  for (pid_t child : children) {
-    int status = 0;
-    if (::waitpid(child, &status, 0) < 0) {
-      if (first_failure == 0) first_failure = 1;
-      continue;
+  std::vector<pid_t> alive = children;
+  bool terminated = false;
+  bool killed = false;
+  std::optional<Clock::time_point> term_at;
+  while (!alive.empty()) {
+    bool progressed = false;
+    for (auto it = alive.begin(); it != alive.end();) {
+      int status = 0;
+      const pid_t r = ::waitpid(*it, &status, WNOHANG);
+      if (r == 0) {
+        ++it;
+        continue;
+      }
+      progressed = true;
+      int code = 1;  // waitpid error: the child is unaccountably gone
+      if (r > 0) {
+        code = 0;
+        if (WIFEXITED(status)) {
+          code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          code = 128 + WTERMSIG(status);
+        }
+      }
+      if (code != 0 && first_failure == 0) first_failure = code;
+      it = alive.erase(it);
     }
-    int code = 0;
-    if (WIFEXITED(status)) {
-      code = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
-      code = 128 + WTERMSIG(status);
+    if (alive.empty()) break;
+    if (first_failure != 0) {
+      if (!terminated) {
+        for (pid_t child : alive) ::kill(child, SIGTERM);
+        terminated = true;
+        term_at = Clock::now();
+      } else if (!killed && seconds_since(*term_at) > options.term_grace_s) {
+        for (pid_t child : alive) ::kill(child, SIGKILL);
+        killed = true;
+      }
     }
-    if (code != 0 && first_failure == 0) first_failure = code;
+    if (!progressed) ::usleep(10000);  // 10 ms between reap sweeps
   }
   return first_failure;
 }

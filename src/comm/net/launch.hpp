@@ -41,6 +41,10 @@ struct LaunchOptions {
   /// an upper bound on the compute imbalance between ranks at any
   /// collective, not on total runtime.
   double comm_timeout_s = 120.0;
+  /// After the first abnormal child exit the survivors get SIGTERM; any
+  /// still alive this many seconds later get SIGKILL. Keeps the launcher's
+  /// return prompt instead of waiting out every survivor's comm deadline.
+  double term_grace_s = 2.0;
   CostModel cost = CostModel::loopback_tcp();
 };
 

@@ -12,13 +12,27 @@
 //                                  park until all `world_size` workers
 //                                  have registered, assign ranks
 //   kWelcome {rank, world_size,
-//        ◀──  data_port[world_size]}
+//        ◀──  generation,
+//             data_port[world_size]}
 //
 // Rank assignment honours distinct valid `requested_rank`s (the launcher
 // passes each child its index so child i is rank i); unrequested slots are
 // filled in registration order. Workers then build the data-plane mesh
 // among themselves (socket_comm.cpp) — the server is out of the picture
 // after the welcome and the launcher can turn to waiting on children.
+//
+// Registration is poll-driven: the server multiplexes the listener and
+// every half-registered connection, so one worker that connects but stalls
+// before sending its hello cannot starve the others — it is dropped at its
+// per-connection deadline. A malformed hello likewise drops that client
+// (logged), never aborting the whole assembly.
+//
+// Elastic re-formation: the server carries a generation counter. A worker
+// that sends world_size == 0 in its hello opts into elastic membership —
+// "whatever group the server forms next". serve_generation() assembles a
+// group from however many elastic workers an external alive-count says to
+// expect, stamps the welcome with the generation, and increments it. A
+// shrunk group after a rank death is just the next generation.
 //
 // Every step runs under a deadline: a worker that never shows up fails
 // serve() with a dkfac::Error, a server that never answers fails
@@ -27,17 +41,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "comm/net/wire.hpp"
+#include "common/clock.hpp"
 
 namespace dkfac::comm::net {
+
+/// A worker's hello asking for elastic membership: the server (not the
+/// worker) decides the world size of the group being formed.
+constexpr int kElasticWorld = 0;
 
 /// What a worker learns from the rendezvous.
 struct RendezvousInfo {
   int rank = 0;
   int world_size = 1;
+  /// Which formation of the group this is (0 = first). Elastic workers
+  /// embed it in their data-plane hellos so a connection from a previous
+  /// generation can never leak into the new mesh.
+  int generation = 0;
   /// Data-plane listening port of every rank, indexed by rank (loopback).
   std::vector<uint16_t> peer_ports;
 };
@@ -52,19 +76,60 @@ class RendezvousServer {
 
   /// Accepts exactly `world_size` registrations, assigns ranks, and sends
   /// every worker its welcome. Throws dkfac::Error if the full group does
-  /// not assemble within `timeout_s`.
+  /// not assemble within `timeout_s`, or if a worker's hello names a
+  /// different world size (a config error, not a flaky client).
   void serve(int world_size, double timeout_s);
+
+  /// Elastic assembly: collects registrations until their count reaches
+  /// `expected()` (re-evaluated as registrations arrive and clients drop —
+  /// the launcher's alive-child count), then forms a generation-stamped
+  /// group of exactly that size and bumps the generation. Registrations
+  /// parked beyond the formed group stay parked for the next call.
+  /// Returns the world size of the group formed. Throws dkfac::Error if
+  /// `expected()` is never reached within `timeout_s` or ever drops below
+  /// `min_world`.
+  int serve_generation(const std::function<int()>& expected, int min_world,
+                       double timeout_s);
+
+  int generation() const { return generation_; }
 
   /// Drops the listening socket. Forked children call this so only the
   /// launcher ever accepts on the inherited fd.
   void close() { listener_.close(); }
 
  private:
+  struct Registration {
+    Socket sock;
+    std::vector<uint8_t> buf;  // hello frame bytes received so far
+    /// Absolute per-connection deadline for delivering the hello; survives
+    /// across pumped serve calls (registrations persist between them).
+    Clock::time_point hello_deadline{};
+    int requested_rank = -1;
+    uint16_t data_port = 0;
+    bool complete = false;     // hello fully parsed
+    int rank = -1;
+  };
+
+  /// Poll-driven registration pump shared by serve / serve_generation:
+  /// accepts, reads hellos incrementally, drops stalled or malformed
+  /// clients, and returns once `target()` complete registrations are
+  /// parked. `world_for_hello` is the world size hellos must name
+  /// (kElasticWorld accepted always); a different nonzero value throws.
+  void collect(const std::function<int()>& target, int world_for_hello,
+               double timeout_s);
+  /// Assigns ranks to the first `world` parked registrations and welcomes
+  /// them with `generation`; welcomed registrations leave the parking lot.
+  void form_group(int world, int generation, double timeout_s);
+
   ListenSocket listener_;
+  std::vector<Registration> parked_;
+  int generation_ = 0;
 };
 
 /// Worker side: registers `data_port` with the server, requests
 /// `requested_rank` (-1 = any), and blocks until the welcome arrives.
+/// Pass `world_size == kElasticWorld` for elastic membership (the server
+/// decides the group size; `requested_rank` is then only a hint).
 RendezvousInfo rendezvous_connect(const std::string& host, uint16_t port,
                                   int world_size, int requested_rank,
                                   uint16_t data_port, double timeout_s);

@@ -33,10 +33,10 @@ std::vector<size_t> chunk_offsets(size_t n, int chunks) {
 }  // namespace
 
 SocketComm::SocketComm(const SocketOptions& options) : options_(options) {
-  DKFAC_CHECK(options_.world_size >= 1)
+  DKFAC_CHECK(options_.elastic || options_.world_size >= 1)
       << "SocketComm needs at least one rank";
-  size_ = options_.world_size;
-  if (size_ == 1 && options_.rendezvous_port == 0) {
+  size_ = options_.elastic ? 1 : options_.world_size;
+  if (!options_.elastic && size_ == 1 && options_.rendezvous_port == 0) {
     rank_ = 0;  // standalone single rank — no server, no peers
     return;
   }
@@ -46,11 +46,16 @@ SocketComm::SocketComm(const SocketOptions& options) : options_(options) {
   // The data listener must exist before registration: peers may dial the
   // advertised port the moment the server publishes it.
   ListenSocket listener;
+  const double rdv_timeout = options_.rendezvous_timeout_s > 0.0
+                                 ? options_.rendezvous_timeout_s
+                                 : options_.timeout_s;
   const RendezvousInfo info = rendezvous_connect(
-      options_.host, options_.rendezvous_port, options_.world_size,
-      options_.requested_rank, listener.port(), options_.timeout_s);
+      options_.host, options_.rendezvous_port,
+      options_.elastic ? kElasticWorld : options_.world_size,
+      options_.requested_rank, listener.port(), rdv_timeout);
   rank_ = info.rank;
   size_ = info.world_size;
+  generation_ = info.generation;
 
   peers_.resize(static_cast<size_t>(size_));
   send_seq_.assign(static_cast<size_t>(size_), 0);
@@ -59,32 +64,46 @@ SocketComm::SocketComm(const SocketOptions& options) : options_(options) {
   // Full mesh: dial every lower rank (their listeners predate the welcome,
   // so connects succeed via the backlog even before they accept), then
   // accept every higher one. Each connection opens with a versioned
-  // kHello naming the dialer's rank — accept order is scheduling noise,
-  // the hello pins the identity.
+  // kHello naming the dialer's rank and the rendezvous generation — accept
+  // order is scheduling noise, the hello pins the identity, and a stale
+  // connection from a previous formation is rejected by its generation.
   std::vector<uint8_t> hello;
   put_u32(hello, static_cast<uint32_t>(rank_));
+  put_u32(hello, static_cast<uint32_t>(generation_));
   for (int r = 0; r < rank_; ++r) {
-    Socket sock = Socket::connect_to(
-        options_.host, info.peer_ports[static_cast<size_t>(r)],
-        options_.timeout_s);
-    stats_.wire_sent_bytes += send_frame(
-        sock, FrameType::kHello, /*seq=*/0, std::span<const uint8_t>(hello),
-        options_.timeout_s);
-    send_seq_[static_cast<size_t>(r)] = 1;
-    peers_[static_cast<size_t>(r)] = std::move(sock);
+    try {
+      Socket sock = Socket::connect_to(
+          options_.host, info.peer_ports[static_cast<size_t>(r)],
+          options_.timeout_s);
+      stats_.wire_sent_bytes += send_frame(
+          sock, FrameType::kHello, /*seq=*/0, std::span<const uint8_t>(hello),
+          options_.timeout_s);
+      send_seq_[static_cast<size_t>(r)] = 1;
+      peers_[static_cast<size_t>(r)] = std::move(sock);
+    } catch (const Error& e) {
+      throw PeerFailure(r, e.what());
+    }
   }
-  for (int i = rank_ + 1; i < size_; ++i) {
+  int missing = size_ - rank_ - 1;
+  while (missing > 0) {
     Socket sock = listener.accept(options_.timeout_s);
     std::vector<uint8_t> peer_hello;
     stats_.wire_recv_bytes += recv_frame(sock, FrameType::kHello, /*seq=*/0,
                                          peer_hello, options_.timeout_s);
-    DKFAC_CHECK(peer_hello.size() == 4) << "malformed peer hello";
+    DKFAC_CHECK(peer_hello.size() == 8) << "malformed peer hello";
     const int r = static_cast<int32_t>(get_u32(peer_hello, 0));
+    const int gen = static_cast<int32_t>(get_u32(peer_hello, 4));
+    if (gen != generation_) {
+      // A dialer from a previous formation raced the re-rendezvous; its
+      // mesh is obsolete — drop the connection, keep accepting.
+      continue;
+    }
     DKFAC_CHECK(r > rank_ && r < size_ &&
                 !peers_[static_cast<size_t>(r)].valid())
         << "unexpected peer hello from rank " << r;
     recv_seq_[static_cast<size_t>(r)] = 1;
     peers_[static_cast<size_t>(r)] = std::move(sock);
+    --missing;
   }
 
   // Everyone reaches here only with a complete, verified mesh.
@@ -100,39 +119,65 @@ Socket& SocketComm::peer(int r) {
 }
 
 void SocketComm::send_to(int r, FrameType type, std::span<const float> payload) {
-  stats_.wire_sent_bytes +=
-      send_frame(peer(r), type, send_seq_[static_cast<size_t>(r)]++, payload,
-                 options_.timeout_s);
+  try {
+    stats_.wire_sent_bytes +=
+        send_frame(peer(r), type, send_seq_[static_cast<size_t>(r)]++, payload,
+                   options_.timeout_s);
+  } catch (const PeerFailure&) {
+    throw;
+  } catch (const Error& e) {
+    throw PeerFailure(r, e.what());
+  }
 }
 
 void SocketComm::recv_from(int r, FrameType type, std::span<float> payload) {
-  stats_.wire_recv_bytes +=
-      recv_frame_into(peer(r), type, recv_seq_[static_cast<size_t>(r)]++,
-                      payload, options_.timeout_s);
+  try {
+    stats_.wire_recv_bytes +=
+        recv_frame_into(peer(r), type, recv_seq_[static_cast<size_t>(r)]++,
+                        payload, options_.timeout_s);
+  } catch (const PeerFailure&) {
+    throw;
+  } catch (const Error& e) {
+    throw PeerFailure(r, e.what());
+  }
 }
 
 void SocketComm::exchange(int to, std::span<const float> out, int from,
                           std::vector<uint8_t>& in_out) {
   const size_t sent = kFrameHeaderBytes + out.size_bytes();
-  const size_t moved = exchange_frames(
-      peer(to), FrameType::kData, send_seq_[static_cast<size_t>(to)]++,
-      as_bytes(out), peer(from), FrameType::kData,
-      recv_seq_[static_cast<size_t>(from)]++, in_out, options_.timeout_s);
-  stats_.wire_sent_bytes += sent;
-  stats_.wire_recv_bytes += moved - sent;
+  try {
+    const size_t moved = exchange_frames(
+        peer(to), FrameType::kData, send_seq_[static_cast<size_t>(to)]++,
+        as_bytes(out), peer(from), FrameType::kData,
+        recv_seq_[static_cast<size_t>(from)]++, in_out, options_.timeout_s);
+    stats_.wire_sent_bytes += sent;
+    stats_.wire_recv_bytes += moved - sent;
+  } catch (const PeerFailure&) {
+    throw;
+  } catch (const Error& e) {
+    // The exchange is full-duplex over two links; attribute the failure to
+    // the receive side, where a dead peer manifests first.
+    throw PeerFailure(from, e.what());
+  }
 }
 
 void SocketComm::exchange_into(int to, std::span<const float> out, int from,
                                std::span<float> in, FrameType type) {
   const size_t sent = kFrameHeaderBytes + out.size_bytes();
-  const size_t moved = exchange_frames_into(
-      peer(to), type, send_seq_[static_cast<size_t>(to)]++, as_bytes(out),
-      peer(from), type, recv_seq_[static_cast<size_t>(from)]++,
-      std::span<uint8_t>(reinterpret_cast<uint8_t*>(in.data()),
-                         in.size_bytes()),
-      options_.timeout_s);
-  stats_.wire_sent_bytes += sent;
-  stats_.wire_recv_bytes += moved - sent;
+  try {
+    const size_t moved = exchange_frames_into(
+        peer(to), type, send_seq_[static_cast<size_t>(to)]++, as_bytes(out),
+        peer(from), type, recv_seq_[static_cast<size_t>(from)]++,
+        std::span<uint8_t>(reinterpret_cast<uint8_t*>(in.data()),
+                           in.size_bytes()),
+        options_.timeout_s);
+    stats_.wire_sent_bytes += sent;
+    stats_.wire_recv_bytes += moved - sent;
+  } catch (const PeerFailure&) {
+    throw;
+  } catch (const Error& e) {
+    throw PeerFailure(from, e.what());
+  }
 }
 
 SocketComm::AllreduceAlgo SocketComm::allreduce_algorithm(uint64_t bytes) const {

@@ -72,9 +72,20 @@ struct SocketOptions {
   int world_size = 1;
   /// Rank to request from the rendezvous (-1 → server assigns).
   int requested_rank = -1;
+  /// Elastic membership: the rendezvous server (not this worker) decides
+  /// the world size of the group being formed — `world_size` is ignored
+  /// and `requested_rank` becomes a hint. The welcome's generation counter
+  /// is embedded in every peer hello so a connection from a previous
+  /// formation can never leak into the new mesh.
+  bool elastic = false;
   /// Deadline for every blocking network operation (rendezvous, peer
   /// dial-up, and each collective's sends/receives).
   double timeout_s = 60.0;
+  /// Separate deadline for the rendezvous wait alone (0 → timeout_s).
+  /// Elastic workers set it LONGER than the collective deadline: a
+  /// re-registration must outwait every survivor's in-flight collective
+  /// timing out before the shrunk group can assemble.
+  double rendezvous_timeout_s = 0.0;
   /// Fabric model driving algorithm selection and (via cost_model())
   /// the fusion/eager tuning of everything layered above.
   CostModel cost = CostModel::loopback_tcp();
@@ -91,6 +102,8 @@ class SocketComm final : public Communicator {
 
   int rank() const override { return rank_; }
   int size() const override { return size_; }
+  /// Rendezvous generation this mesh was formed in (0 for non-elastic).
+  int generation() const { return generation_; }
   const CostModel& cost_model() const override { return options_.cost; }
 
   void allreduce(std::span<float> data, ReduceOp op) override;
@@ -108,7 +121,9 @@ class SocketComm final : public Communicator {
  private:
   Socket& peer(int r);
   /// Framed send/recv to a specific rank, maintaining per-peer sequence
-  /// counters and the wire-byte accounting.
+  /// counters and the wire-byte accounting. Any transport failure on a
+  /// peer link rethrows as PeerFailure naming that rank — the typed signal
+  /// elastic callers use to trigger re-formation.
   void send_to(int r, FrameType type, std::span<const float> payload);
   void recv_from(int r, FrameType type, std::span<float> payload);
   /// Full-duplex ring step (see exchange_frames): send to `to` while
@@ -127,6 +142,7 @@ class SocketComm final : public Communicator {
   SocketOptions options_;
   int rank_ = 0;
   int size_ = 1;
+  int generation_ = 0;
   std::vector<Socket> peers_;        // by rank; the self slot stays invalid
   std::vector<uint32_t> send_seq_;   // per-peer frames sent
   std::vector<uint32_t> recv_seq_;   // per-peer frames received

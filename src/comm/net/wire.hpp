@@ -113,6 +113,9 @@ class ListenSocket {
   ListenSocket();  // binds + listens immediately
   uint16_t port() const { return port_; }
   bool valid() const { return sock_.valid(); }
+  /// Raw fd for callers that multiplex the listener with other sockets in
+  /// one poll set (the rendezvous registration pump).
+  int fd() const { return sock_.fd(); }
   /// Accepts one connection before the deadline or throws.
   Socket accept(double timeout_s);
   /// Drops the listener (children of a forking launcher close their

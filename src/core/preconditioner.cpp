@@ -96,7 +96,18 @@ void KfacPreconditioner::step() {
   DKFAC_TRACE_SCOPE("kfac.step");
   report_ = {};
 
-  if (iteration_ % options_.factor_update_freq == 0) {
+  // Straggler slack: shed this step's due factor + decomposition updates
+  // (the paper's update-frequency-decay semantics as a one-shot skip).
+  // Preconditioning below continues on the existing decompositions, so the
+  // very first step — where none exist yet — must never be shed.
+  const bool shed = skip_once_ && iteration_ > 0;
+  skip_once_ = false;
+  if (shed) {
+    DKFAC_TRACE_SCOPE("kfac.factor_step_skipped");
+    report_.factor_step_skipped = true;
+  }
+
+  if (!shed && iteration_ % options_.factor_update_freq == 0) {
     DKFAC_TRACE_SCOPE("kfac.factor_update");
     const auto start = Clock::now();
     // A factor exchange left in flight by the previous step must fold in
@@ -107,7 +118,7 @@ void KfacPreconditioner::step() {
     report_.factor_seconds = seconds_since(start);
   }
 
-  if (iteration_ % options_.inv_update_freq == 0) {
+  if (!shed && iteration_ % options_.inv_update_freq == 0) {
     DKFAC_TRACE_SCOPE("kfac.decomposition");
     const auto start = Clock::now();
     finish_factor_comm();  // decomposition consumes the reduced factors

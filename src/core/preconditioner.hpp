@@ -66,6 +66,21 @@ class KfacPreconditioner {
   /// Update-frequency decay (paper §V-C).
   void set_update_freqs(int factor_update_freq, int inv_update_freq);
 
+  /// True when the NEXT step() is due to recompute and exchange factors —
+  /// the steps a straggler would stall the group at.
+  bool factor_update_due() const {
+    return iteration_ % options_.factor_update_freq == 0;
+  }
+
+  /// Skips the next step's factor AND decomposition updates (the paper's
+  /// update-frequency-decay semantics applied as one-shot straggler
+  /// slack): a late rank's factor contribution is dropped for the step
+  /// instead of stalling the collective; preconditioning continues on the
+  /// existing decompositions. MUST be called collectively — every rank
+  /// skips or none do, or the collective sequences desynchronise. Ignored
+  /// on the very first step (no decomposition exists to fall back on).
+  void skip_factor_update_once() { skip_once_ = true; }
+
   /// Attaches the trainer's background communication pipeline. With
   /// options().overlap_comm set, factor allreduces are submitted to
   /// `executor` (overlapping the preconditioning GEMMs and the next
@@ -103,6 +118,9 @@ class KfacPreconditioner {
   struct StepReport {
     bool factors_updated = false;
     bool decompositions_updated = false;
+    /// A due factor/decomposition update was shed by
+    /// skip_factor_update_once() (straggler slack).
+    bool factor_step_skipped = false;
     double factor_seconds = 0.0;
     double decomposition_seconds = 0.0;
     double precondition_seconds = 0.0;
@@ -215,6 +233,8 @@ class KfacPreconditioner {
   std::vector<int64_t> factor_dims_;
   WorkAssignment assignment_;
   int64_t iteration_ = 0;
+  /// One-shot straggler slack: the next due factor/decomp update is shed.
+  bool skip_once_ = false;
   StepReport report_;
 };
 

@@ -5,10 +5,17 @@
 //   magic "DKFC" | u32 version | u64 entry_count |
 //   per entry: u64 name_len | name bytes | u64 ndim | u64 dims[ndim] |
 //              f32 data[numel]
+//   footer: magic "DKFE" | u64 payload_bytes (everything before the footer)
 //
 // Entries are keyed by parameter name, so checkpoints survive refactors
 // that reorder layers but not ones that rename them. BatchNorm running
 // stats are stored under "<bn-name>.running_{mean,var}".
+//
+// Durability: the path-taking save writes `<path>.tmp`, fsyncs, and
+// atomically renames — a crash mid-write leaves the previous checkpoint
+// (or a stray .tmp), never a truncated file under the real name. The
+// footer makes truncation detectable on load even when the cut lands on
+// an entry boundary.
 #pragma once
 
 #include <iosfwd>

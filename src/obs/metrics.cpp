@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "obs/trace.hpp"
 
 namespace dkfac::obs {
@@ -54,6 +55,9 @@ StepMetricsLogger::StepMetricsLogger(const std::string& path) {
   kfac_decomp_updates_ = &registry_.add_counter("kfac.decomp_updates");
   kfac_decomp_intra_ = &registry_.add_counter("kfac.decomp_intra_tasks");
   kfac_decomp_inter_ = &registry_.add_counter("kfac.decomp_inter_tasks");
+  elastic_reformations_ = &registry_.add_counter("elastic.reformations");
+  elastic_skipped_factor_steps_ =
+      &registry_.add_counter("elastic.skipped_factor_steps");
 
   train_loss_ = &registry_.add_gauge("train.loss");
   train_accuracy_ = &registry_.add_gauge("train.accuracy");
@@ -98,6 +102,8 @@ void StepMetricsLogger::record(const StepSample& sample,
   arena_steady_allocs_->set(arena.steady_state_allocs);
   async_submitted_->set(comm.async.submitted);
   async_batches_->set(comm.async.batches);
+  elastic_reformations_->set(sample.elastic_reformations);
+  elastic_skipped_factor_steps_->set(sample.elastic_skipped_factor_steps);
 
   train_loss_->set(sample.loss);
   train_accuracy_->set(sample.accuracy);
@@ -130,6 +136,14 @@ void StepMetricsLogger::record(const StepSample& sample,
   if (out_.is_open()) {
     registry_.write_jsonl(out_, sample.step);
     out_.flush();  // keep the file tailable while training runs
+    // A full disk (or yanked volume) must not silently truncate the JSONL:
+    // metrics are observability, so degrade to one logged warning instead
+    // of failing the training step.
+    if (!out_ && !write_failure_logged_) {
+      write_failure_logged_ = true;
+      DKFAC_LOG_WARN << "obs: metrics write failed (disk full?) — "
+                        "further step records will be dropped";
+    }
   }
 }
 

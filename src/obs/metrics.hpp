@@ -31,6 +31,11 @@ struct StepSample {
   double backward_seconds = 0.0;
   double grad_comm_seconds = 0.0;  ///< synchronous grad-comm wall time
   double apply_seconds = 0.0;      ///< optimizer + K-FAC apply
+  /// Elastic-training counters (cumulative over the run): group
+  /// re-formations survived so far, and K-FAC factor updates shed as
+  /// straggler slack. Zero outside elastic runs.
+  uint64_t elastic_reformations = 0;
+  uint64_t elastic_skipped_factor_steps = 0;
 };
 
 /// Communication overlap split: hidden = collective time the main thread
@@ -69,6 +74,10 @@ class StepMetricsLogger {
  private:
   Registry registry_;
   std::ofstream out_;
+  /// A failed JSONL write has been reported (warn once, not per step —
+  /// metrics are observability, so a full disk degrades to a warning
+  /// instead of killing the training run).
+  bool write_failure_logged_ = false;
 
   // Counters (cumulative, set from the cumulative CommStats each step).
   Registry::Counter* comm_allreduce_calls_;
@@ -92,6 +101,8 @@ class StepMetricsLogger {
   Registry::Counter* kfac_decomp_updates_;
   Registry::Counter* kfac_decomp_intra_;
   Registry::Counter* kfac_decomp_inter_;
+  Registry::Counter* elastic_reformations_;
+  Registry::Counter* elastic_skipped_factor_steps_;
 
   // Gauges (this step's values).
   Registry::Gauge* train_loss_;

@@ -1,0 +1,376 @@
+#include "train/elastic.hpp"
+
+#include <fcntl.h>
+#include <omp.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "comm/net/rendezvous.hpp"
+#include "comm/net/socket_comm.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "nn/serialize.hpp"
+#include "obs/trace.hpp"
+
+namespace dkfac::train::elastic {
+
+namespace {
+
+constexpr char kElasticMagic[4] = {'D', 'K', 'E', 'L'};
+constexpr uint32_t kElasticVersion = 1;
+
+/// SIGTERM → SIGKILL grace when the supervisor gives up on a group.
+constexpr double kTermGraceSeconds = 2.0;
+
+/// fsync(tmp) + rename(tmp, path) + best-effort directory fsync — the same
+/// durability discipline as nn::save_checkpoint(path).
+void commit_atomically(const std::string& tmp, const std::string& path) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY);
+  DKFAC_CHECK(fd >= 0) << "cannot reopen " << tmp << " for fsync";
+  const int synced = ::fsync(fd);
+  ::close(fd);
+  if (synced != 0) {
+    std::remove(tmp.c_str());
+    throw Error("elastic checkpoint fsync failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("elastic checkpoint rename failed: " + tmp + " -> " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+/// Reads the DKEL header off `in`; returns the epoch tag or nullopt.
+std::optional<int> read_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kElasticMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in.good() || version != kElasticVersion) return std::nullopt;
+  uint64_t epoch = 0;
+  in.read(reinterpret_cast<char*>(&epoch), sizeof(epoch));
+  if (!in.good() || epoch > (1u << 30)) return std::nullopt;
+  return static_cast<int>(epoch);
+}
+
+/// The machine-readable summary rank 0 of the finishing generation
+/// publishes for the supervisor (key=value lines, written atomically so a
+/// child dying mid-publish can never leave a half-truth).
+void publish_result(const std::string& result_path, const TrainResult& result,
+                    int generation, int world, uint64_t total_skips) {
+  std::ostringstream body;
+  body << std::setprecision(9);
+  body << "train_loss="
+       << (result.epochs.empty() ? 0.0f : result.epochs.back().train_loss)
+       << "\n";
+  body << "val_accuracy=" << result.final_val_accuracy << "\n";
+  body << "reformations=" << generation << "\n";
+  body << "skipped_factor_steps=" << total_skips << "\n";
+  body << "world=" << world << "\n";
+  const std::string tmp = result_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    DKFAC_CHECK(out.is_open()) << "cannot open " << tmp << " for writing";
+    out << body.str();
+    out.flush();
+    DKFAC_CHECK(out.good()) << "elastic result write failed: " << tmp;
+  }
+  commit_atomically(tmp, result_path);
+}
+
+/// The child's lifetime: (re-)rendezvous, (re-)train, until the job
+/// completes or recovery is exhausted. Exit codes: 0 success, 1 training
+/// error, 2 re-formations exhausted, 3 rendezvous unreachable.
+int elastic_worker(int child_index, uint16_t rendezvous_port,
+                   const ModelFactory& factory,
+                   const data::SyntheticSpec& data_spec,
+                   const TrainConfig& base, const ElasticOptions& opts) {
+  int attempts = 0;
+  uint64_t carried_skips = 0;
+  while (true) {
+    std::unique_ptr<comm::net::SocketComm> comm;
+    auto build_comm = [&] {
+      comm::net::SocketOptions sopts;
+      sopts.rendezvous_port = rendezvous_port;
+      sopts.elastic = true;
+      sopts.requested_rank = child_index;
+      sopts.timeout_s = opts.comm_timeout_s;
+      // A re-registration must outwait every survivor's in-flight
+      // collective timing out before the shrunk group can assemble.
+      sopts.rendezvous_timeout_s =
+          std::max(opts.rendezvous_timeout_s, 2.0 * opts.comm_timeout_s + 5.0);
+      sopts.cost = opts.cost;
+      comm = std::make_unique<comm::net::SocketComm>(sopts);
+    };
+    try {
+      if (attempts > 0) {
+        DKFAC_TRACE_SCOPE("elastic.reformation");
+        build_comm();
+      } else {
+        build_comm();
+      }
+    } catch (const Error& e) {
+      // The supervisor is gone or the group can no longer assemble —
+      // there is nothing left to retry against.
+      std::fprintf(stderr, "[elastic child %d] rendezvous failed: %s\n",
+                   child_index, e.what());
+      return 3;
+    }
+
+    const int generation = comm->generation();
+    const int rank = comm->rank();
+    // Re-divide the cores among however many ranks remain — a shrunk
+    // group gets bigger per-rank OpenMP teams.
+    omp_set_num_threads(omp_threads_per_rank(comm->size()));
+    TrainConfig config = base;
+    config.elastic_reformations = static_cast<uint64_t>(generation);
+    config.skipped_factor_steps_baseline = carried_skips;
+    config.on_epoch_checkpoint = [&opts](int epoch, nn::Layer& model) {
+      save_elastic_checkpoint(model, epoch, opts.checkpoint_path);
+    };
+    if (const std::optional<int> tag =
+            read_elastic_epoch_tag(opts.checkpoint_path)) {
+      config.start_epoch = *tag + 1;
+      config.on_model_init = [&opts](nn::Layer& model) {
+        DKFAC_TRACE_SCOPE("elastic.rejoin");
+        (void)load_elastic_checkpoint(model, opts.checkpoint_path);
+      };
+    }
+    if (opts.kill && generation == 0 && rank == opts.kill->rank) {
+      const KillSpec kill = *opts.kill;
+      config.step_probe = [kill](int epoch, int64_t step) {
+        if (epoch == kill.epoch && step == kill.step) {
+          ::kill(::getpid(), SIGKILL);
+        }
+      };
+    }
+
+    try {
+      const TrainResult result =
+          train_with_comm(factory, data_spec, config, *comm);
+      carried_skips += result.skipped_factor_steps;
+      if (rank == 0) {
+        publish_result(opts.checkpoint_path + ".result", result, generation,
+                       comm->size(), carried_skips);
+      }
+      return 0;
+    } catch (const comm::PeerFailure& e) {
+      ++attempts;
+      DKFAC_LOG_WARN << "elastic: rank " << rank << " (generation "
+                     << generation << ") lost a peer: " << e.what()
+                     << (attempts <= opts.max_reformations
+                             ? " — re-forming"
+                             : " — re-formations exhausted");
+      if (attempts > opts.max_reformations) return 2;
+      // Tear the mesh down NOW: closing our sockets cascades the failure
+      // to peers still blocked in a collective, so the whole group reaches
+      // the rendezvous within one comm deadline instead of serially.
+      comm.reset();
+    }
+  }
+}
+
+[[noreturn]] void elastic_child_main(int child_index, uint16_t rendezvous_port,
+                                     const ModelFactory& factory,
+                                     const data::SyntheticSpec& data_spec,
+                                     const TrainConfig& config,
+                                     const ElasticOptions& opts) {
+  int code = 1;
+  try {
+    code = elastic_worker(child_index, rendezvous_port, factory, data_spec,
+                          config, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[elastic child %d] error: %s\n", child_index,
+                 e.what());
+    code = 1;
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  _exit(code);
+}
+
+}  // namespace
+
+void save_elastic_checkpoint(nn::Layer& model, int epoch,
+                             const std::string& path) {
+  DKFAC_CHECK(epoch >= 0) << "elastic checkpoint epoch must be non-negative";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    DKFAC_CHECK(out.is_open()) << "cannot open " << tmp << " for writing";
+    out.write(kElasticMagic, sizeof(kElasticMagic));
+    out.write(reinterpret_cast<const char*>(&kElasticVersion),
+              sizeof(kElasticVersion));
+    const uint64_t tagged = static_cast<uint64_t>(epoch);
+    out.write(reinterpret_cast<const char*>(&tagged), sizeof(tagged));
+    nn::save_checkpoint(model, out);
+    out.flush();
+    DKFAC_CHECK(out.good()) << "elastic checkpoint write failed: " << tmp;
+  }
+  commit_atomically(tmp, path);
+}
+
+std::optional<int> read_elastic_epoch_tag(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  return read_header(in);
+}
+
+int load_elastic_checkpoint(nn::Layer& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DKFAC_CHECK(in.is_open()) << "cannot open " << path << " for reading";
+  const std::optional<int> epoch = read_header(in);
+  DKFAC_CHECK(epoch.has_value()) << path << " is not an elastic checkpoint";
+  nn::load_checkpoint(model, in);
+  return *epoch;
+}
+
+ElasticResult run_elastic(const ModelFactory& factory,
+                          const data::SyntheticSpec& data_spec,
+                          const TrainConfig& config,
+                          const ElasticOptions& options) {
+  DKFAC_CHECK(!options.checkpoint_path.empty())
+      << "elastic training needs a durable checkpoint path";
+  DKFAC_CHECK(options.initial_ranks >= 1) << "need at least one rank";
+  DKFAC_CHECK(options.min_ranks >= 1 &&
+              options.min_ranks <= options.initial_ranks)
+      << "min_ranks must be in [1, initial_ranks]";
+
+  const std::string result_path = options.checkpoint_path + ".result";
+  std::remove(result_path.c_str());
+
+  comm::net::RendezvousServer server;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> children;
+  children.reserve(static_cast<size_t>(options.initial_ranks));
+  for (int i = 0; i < options.initial_ranks; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (pid_t child : children) ::kill(child, SIGKILL);
+      for (pid_t child : children) ::waitpid(child, nullptr, 0);
+      throw Error("run_elastic: fork failed");
+    }
+    if (pid == 0) {
+      server.close();  // only the supervisor accepts rendezvous connections
+      elastic_child_main(i, server.port(), factory, data_spec, config,
+                         options);
+    }
+    children.push_back(pid);
+  }
+
+  // Supervision pump: reap deaths, keep the rendezvous warm so survivors
+  // can re-form (parked registrations persist across the short serve
+  // calls), and give up once the group can no longer satisfy min_ranks.
+  int first_failure = 0;
+  std::vector<pid_t> alive = children;
+  auto reap = [&] {
+    for (auto it = alive.begin(); it != alive.end();) {
+      int status = 0;
+      const pid_t r = ::waitpid(*it, &status, WNOHANG);
+      if (r == 0) {
+        ++it;
+        continue;
+      }
+      int code = 1;  // waitpid error: the child is unaccountably gone
+      if (r > 0) {
+        code = 0;
+        if (WIFEXITED(status)) {
+          code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          code = 128 + WTERMSIG(status);
+        }
+      }
+      // A killed rank is an expected casualty as long as a shrunk group
+      // finishes the job; remember the first failure anyway — if no
+      // generation ever publishes a result, this is the diagnosis.
+      if (code != 0 && first_failure == 0) first_failure = code;
+      it = alive.erase(it);
+    }
+  };
+
+  while (true) {
+    reap();
+    if (alive.empty()) break;
+    if (static_cast<int>(alive.size()) < options.min_ranks) {
+      DKFAC_LOG_WARN << "elastic: only " << alive.size()
+                     << " ranks remain (min " << options.min_ranks
+                     << ") — terminating the job";
+      for (pid_t child : alive) ::kill(child, SIGTERM);
+      const auto term_at = Clock::now();
+      while (!alive.empty() && seconds_since(term_at) < kTermGraceSeconds) {
+        reap();
+        if (!alive.empty()) ::usleep(10000);
+      }
+      for (pid_t child : alive) ::kill(child, SIGKILL);
+      while (!alive.empty()) {
+        reap();
+        if (!alive.empty()) ::usleep(10000);
+      }
+      break;
+    }
+    try {
+      server.serve_generation([&] { reap(); return static_cast<int>(alive.size()); },
+                              options.min_ranks,
+                              /*timeout_s=*/0.25);
+    } catch (const Error&) {
+      // Pump tick: nobody (or not everybody) is re-registering right now.
+      // Half-finished registrations stay parked for the next tick, and a
+      // group that shrank below min_ranks is handled at the top of the
+      // loop.
+    }
+  }
+
+  ElasticResult res;
+  std::ifstream in(result_path);
+  if (in.is_open()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = line.substr(0, eq);
+      const std::string value = line.substr(eq + 1);
+      try {
+        if (key == "train_loss") {
+          res.final_train_loss = std::stof(value);
+        } else if (key == "val_accuracy") {
+          res.final_val_accuracy = std::stof(value);
+        } else if (key == "reformations") {
+          res.reformations = std::stoi(value);
+        } else if (key == "skipped_factor_steps") {
+          res.skipped_factor_steps = std::stoull(value);
+        } else if (key == "world") {
+          res.final_world = std::stoi(value);
+        }
+      } catch (const std::exception&) {
+        // Unparseable line in a hand-edited file: skip it.
+      }
+    }
+    res.completed = true;
+  } else {
+    res.exit_code = first_failure != 0 ? first_failure : 1;
+  }
+  return res;
+}
+
+}  // namespace dkfac::train::elastic

@@ -1,0 +1,125 @@
+// Elastic fault-tolerant training: survive rank death mid-run.
+//
+// run_elastic() supervises a multi-process socket-backend training job the
+// way net::run_ranks supervises a fixed one, except that a rank dying
+// mid-training shrinks the group instead of failing the job:
+//
+//   1. DETECTION — the dead peer's sockets close; every survivor's next
+//      collective on that link throws comm::PeerFailure (a typed Error
+//      naming the rank) within one comm deadline. The supervisor reaps the
+//      corpse with WNOHANG in its pump loop.
+//   2. RE-FORMATION — survivors tear down their mesh (closing their own
+//      sockets cascades the failure to peers still blocked in a
+//      collective) and re-register with the persistent RendezvousServer
+//      under elastic membership (world = kElasticWorld). The supervisor's
+//      serve_generation() forms a group of exactly the surviving-child
+//      count and stamps it with the next generation; stale connections
+//      from the old mesh are rejected by the generation tag in every
+//      data-plane hello.
+//   3. REJOIN — the new group restores the last durable epoch-tagged
+//      checkpoint (written atomically at every epoch boundary by rank 0)
+//      and resumes at that epoch + 1. Factor ownership redistributes
+//      automatically: KfacPreconditioner derives its assignment from the
+//      communicator size at construction.
+//   4. STRAGGLER SLACK — orthogonal to death: a rank that is merely slow
+//      on a factor-update step triggers a collective vote that sheds the
+//      step's factor update for ALL ranks (the paper's update-frequency-
+//      decay semantics) instead of stalling the group. See
+//      TrainConfig::straggler_slack_s.
+//
+// Counters surface in the metrics stream as `elastic.reformations` and
+// `elastic.skipped_factor_steps`; recovery phases emit trace spans
+// (`elastic.reformation`, `elastic.rejoin`, `elastic.straggler_vote`).
+//
+// What is survivable: any number of rank deaths over time, as long as at
+// least `min_ranks` children remain and re-formations stay within
+// `max_reformations`. What is not: the supervisor process dying, loss of
+// the checkpoint file, and deaths before the first epoch's checkpoint
+// exists (the group re-forms but restarts from epoch 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "comm/cost_model.hpp"
+#include "train/trainer.hpp"
+
+namespace dkfac::train::elastic {
+
+/// Fault injection: the child whose generation-0 rank is `rank` SIGKILLs
+/// itself at the top of (epoch, step), before any collective of that step.
+/// Only fires in generation 0 — re-formed groups run undisturbed.
+struct KillSpec {
+  int rank = 0;
+  int epoch = 0;
+  int64_t step = 0;
+};
+
+struct ElasticOptions {
+  /// Children forked at launch (generation 0's world size).
+  int initial_ranks = 4;
+  /// The job fails once fewer than this many children survive.
+  int min_ranks = 1;
+  /// Bound on how many times any child may re-rendezvous before giving up.
+  int max_reformations = 3;
+  /// Per-operation network deadline inside each child's SocketComm — the
+  /// detection latency bound for a dead peer.
+  double comm_timeout_s = 20.0;
+  /// How long the initial group may take to assemble.
+  double rendezvous_timeout_s = 30.0;
+  /// Durable epoch-tagged checkpoint path (required). Written atomically
+  /// by rank 0 at every epoch boundary; re-formed groups resume from it.
+  /// The supervisor's machine-readable summary lands at `<path>.result`.
+  std::string checkpoint_path;
+  /// Optional chaos injection (tests).
+  std::optional<KillSpec> kill;
+  comm::CostModel cost = comm::CostModel::loopback_tcp();
+};
+
+struct ElasticResult {
+  /// True iff a group ran training to completion and published its result.
+  bool completed = false;
+  /// First failing child's exit code when !completed (0 otherwise).
+  int exit_code = 0;
+  float final_train_loss = 0.0f;
+  float final_val_accuracy = 0.0f;
+  /// Re-formations the surviving group went through (== final generation).
+  int reformations = 0;
+  /// Factor updates shed as straggler slack across all generations.
+  uint64_t skipped_factor_steps = 0;
+  /// World size of the group that finished.
+  int final_world = 0;
+};
+
+/// Supervises an elastic training job: forks `initial_ranks` children,
+/// pumps the rendezvous for re-formations, reaps deaths, and returns the
+/// published result of whichever generation ran to completion. Throws
+/// dkfac::Error only for setup errors (bad options, fork failure) — rank
+/// deaths and failed runs are reported through the result.
+ElasticResult run_elastic(const ModelFactory& factory,
+                          const data::SyntheticSpec& data_spec,
+                          const TrainConfig& config,
+                          const ElasticOptions& options);
+
+// ---- epoch-tagged checkpoint container ------------------------------------
+//
+// A plain nn::save_checkpoint stream prefixed with
+//   magic "DKEL" | u32 version | u64 epoch
+// and written with the same tmp + fsync + rename discipline, so "which
+// epoch does this checkpoint hold" survives crashes with the same atomicity
+// as the weights themselves.
+
+/// Atomically writes `model` tagged with `epoch` to `path`.
+void save_elastic_checkpoint(nn::Layer& model, int epoch,
+                             const std::string& path);
+
+/// The epoch tag of the checkpoint at `path`, or nullopt if the file is
+/// missing or not an elastic checkpoint. Never throws.
+std::optional<int> read_elastic_epoch_tag(const std::string& path);
+
+/// Restores `model` from an elastic checkpoint and returns its epoch tag.
+/// Throws dkfac::Error on a missing/corrupt file or mismatched model.
+int load_elastic_checkpoint(nn::Layer& model, const std::string& path);
+
+}  // namespace dkfac::train::elastic

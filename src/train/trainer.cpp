@@ -141,6 +141,9 @@ TrainResult train_with_comm(const ModelFactory& factory,
   nn::LayerPtr model = factory(model_rng);
   std::vector<nn::Parameter*> params = model->parameters();
   for (nn::Parameter* p : params) comm.broadcast(p->value, /*root=*/0);
+  // Rejoin hook: a re-formed elastic group restores the last durable
+  // checkpoint over the fresh replicas (every rank loads the same file).
+  if (config.on_model_init) config.on_model_init(*model);
   comm.reset_stats();
 
   const optim::LrSchedule schedule(config.lr);
@@ -215,7 +218,8 @@ TrainResult train_with_comm(const ModelFactory& factory,
   }
   uint64_t global_step = 0;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  DKFAC_CHECK(config.start_epoch >= 0) << "start_epoch must be non-negative";
+  for (int epoch = config.start_epoch; epoch < config.epochs; ++epoch) {
     const auto epoch_start = Clock::now();
     DKFAC_TRACE_SCOPE("train.epoch");
 
@@ -240,6 +244,7 @@ TrainResult train_with_comm(const ModelFactory& factory,
         step_span.set_arg("epoch", static_cast<uint64_t>(epoch));
         step_span.set_arg("batch", static_cast<uint64_t>(b));
       }
+      if (config.step_probe) config.step_probe(epoch, b);
       const auto step_start = Clock::now();
       const float frac_epoch =
           static_cast<float>(epoch) +
@@ -296,10 +301,40 @@ TrainResult train_with_comm(const ModelFactory& factory,
       // has seen its peak payload (gradients, factors, staging chunks), so
       // any later block allocation is a zero-copy regression — counted in
       // steady_state_allocs and asserted zero by the integration tests.
-      if (epoch == 0 && b == 1) {
+      if (epoch == config.start_epoch && b == 1) {
         if (kfac) kfac->mark_steady_state();
         if (executor) executor->mark_steady_state();
         if (grad_fusion) grad_fusion->mark_steady_state();
+      }
+      // Straggler slack (elastic training): on factor-update steps, vote
+      // on the compute-time spread across ranks. The ranks are already
+      // synchronised at this point (the gradient allreduce above), so the
+      // 2-float kMax vote adds negligible latency; `max − min > slack`
+      // means some rank fell behind, and ALL ranks shed this step's factor
+      // update (the paper's update-frequency-decay semantics) instead of
+      // stalling the exchange behind it. The decision is collective — one
+      // vote, one outcome — so collective sequences stay aligned.
+      // (Not at step 0: the first factor update can never be shed — there
+      // is no previous decomposition to fall back on.)
+      if (kfac && config.straggler_slack_s > 0.0 && comm.size() > 1 &&
+          global_step > 0 && kfac->factor_update_due()) {
+        DKFAC_TRACE_SCOPE("elastic.straggler_vote");
+        double mine =
+            std::chrono::duration<double>(t_backward - step_start).count();
+        if (config.straggler_lag_hook) {
+          mine += config.straggler_lag_hook(comm.rank(),
+                                            static_cast<int64_t>(global_step));
+        }
+        if (executor) executor->wait();  // vote runs directly on `comm`
+        float vote[2] = {static_cast<float>(mine),
+                         static_cast<float>(-mine)};
+        comm.allreduce(std::span<float>(vote, 2), comm::ReduceOp::kMax);
+        const double spread =
+            static_cast<double>(vote[0]) + static_cast<double>(vote[1]);
+        if (spread > config.straggler_slack_s) {
+          kfac->skip_factor_update_once();
+          ++result.skipped_factor_steps;
+        }
       }
       {
         DKFAC_TRACE_SCOPE("train.apply");
@@ -329,6 +364,9 @@ TrainResult train_with_comm(const ModelFactory& factory,
         sample.backward_seconds = secs(t_forward, t_backward);
         sample.grad_comm_seconds = secs(t_backward, t_grad);
         sample.apply_seconds = secs(t_grad, t_apply);
+        sample.elastic_reformations = config.elastic_reformations;
+        sample.elastic_skipped_factor_steps =
+            config.skipped_factor_steps_baseline + result.skipped_factor_steps;
         metrics_logger->record(sample, stats_snapshot,
                                kfac ? &kfac->last_report() : nullptr,
                                arena_snapshot);
@@ -351,6 +389,11 @@ TrainResult train_with_comm(const ModelFactory& factory,
     metrics.seconds = std::chrono::duration<double>(Clock::now() - epoch_start).count();
     result.epochs.push_back(metrics);
     result.best_val_accuracy = std::max(result.best_val_accuracy, metrics.val_accuracy);
+    // Durable elastic checkpoint: rank 0 persists the epoch's weights so a
+    // re-formed group can rejoin at this exact boundary.
+    if (comm.rank() == 0 && config.on_epoch_checkpoint) {
+      config.on_epoch_checkpoint(epoch, *model);
+    }
   }
 
   result.final_val_accuracy =

@@ -35,6 +35,12 @@ enum class OptimizerKind { kSgd, kAdam, kLars };
 struct TrainConfig {
   int64_t local_batch = 32;
   int epochs = 10;
+  /// First epoch to run (training covers [start_epoch, epochs)). A
+  /// re-formed elastic group restores a checkpoint tagged with epoch e and
+  /// resumes at start_epoch = e: the LR schedule and K-FAC decays are
+  /// functions of the absolute epoch, so the resumed trajectory matches
+  /// where the undisturbed run would be.
+  int start_epoch = 0;
   OptimizerKind optimizer = OptimizerKind::kSgd;
   optim::LrSchedule::Options lr;
   float momentum = 0.9f;
@@ -75,6 +81,42 @@ struct TrainConfig {
   /// Invoked with rank 0's trained model before the workers tear down —
   /// use it to checkpoint or inspect the final weights.
   std::function<void(nn::Layer&)> on_trained_model;
+
+  // ---- elastic fault tolerance (see train/elastic.hpp) ---------------------
+
+  /// Invoked on rank 0 at the end of every epoch with (epoch, model) — the
+  /// elastic trainer writes its durable epoch-tagged checkpoint here.
+  std::function<void(int, nn::Layer&)> on_epoch_checkpoint;
+
+  /// Invoked on EVERY rank right after the replicas are built and
+  /// broadcast, before the first step — the rejoin hook: a re-formed group
+  /// overwrites the fresh weights with the last durable checkpoint here.
+  /// Must leave all ranks identical (e.g. every rank loads the same file).
+  std::function<void(nn::Layer&)> on_model_init;
+
+  /// K-FAC straggler slack: on steps where a factor update is due, ranks
+  /// vote (one tiny kMax allreduce at the already-synchronised gradient
+  /// point) on their per-step compute-time spread; if max − min exceeds
+  /// this many seconds, ALL ranks shed the step's factor update — the
+  /// paper's update-frequency-decay semantics instead of stalling the
+  /// collective behind the slow rank. 0 = off (no vote, no extra
+  /// collective — existing runs are byte-for-byte unchanged).
+  double straggler_slack_s = 0.0;
+
+  /// Test hook: extra seconds of simulated compute lag `rank` reports into
+  /// the straggler vote at a given (rank, global step). Null = none.
+  std::function<double(int, int64_t)> straggler_lag_hook;
+
+  /// Fault-injection hook, called on every rank at the top of each step
+  /// with (epoch, batch) BEFORE any collective of that step. Chaos tests
+  /// use it to self-SIGKILL a rank at an exact, reproducible point.
+  std::function<void(int, int64_t)> step_probe;
+
+  /// Elastic counters carried across re-formations, surfaced verbatim in
+  /// the metrics stream (elastic.reformations) and added to this run's
+  /// shed-step count (elastic.skipped_factor_steps).
+  uint64_t elastic_reformations = 0;
+  uint64_t skipped_factor_steps_baseline = 0;
 };
 
 struct EpochMetrics {
@@ -91,6 +133,9 @@ struct TrainResult {
   float best_val_accuracy = 0.0f;
   int64_t iterations = 0;
   double total_seconds = 0.0;
+  /// K-FAC factor updates shed as straggler slack during this run (not
+  /// including the config's carried-over baseline).
+  uint64_t skipped_factor_steps = 0;
   /// Rank-0 communication counters over the whole run.
   comm::CommStats comm_stats;
 

@@ -1,0 +1,115 @@
+// Checkpoint durability: the path-taking save must be atomic (tmp + fsync
+// + rename — readers only ever see the old file or the new one), and the
+// length footer must make ANY truncation detectable on load, including a
+// cut that lands exactly on an entry boundary — the case a format without
+// a footer silently accepts as a shorter-but-valid checkpoint.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "nn/resnet.hpp"
+#include "nn/serialize.hpp"
+
+namespace dkfac::nn {
+namespace {
+
+std::string checkpoint_bytes(Layer& model) {
+  std::stringstream buffer;
+  save_checkpoint(model, buffer);
+  return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(SerializeAtomic, SaveLeavesNoTempFileBehind) {
+  Rng rng(31);
+  LayerPtr model = mlp(4, 8, 2, rng);
+  const std::string path = ::testing::TempDir() + "dkfac_atomic.ckpt";
+  save_checkpoint(*model, path);
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST(SerializeAtomic, SaveReplacesExistingCheckpointAtomically) {
+  Rng rng_a(32), rng_b(33);
+  LayerPtr first = mlp(4, 8, 2, rng_a);
+  LayerPtr second = mlp(4, 8, 2, rng_b);
+  const std::string path = ::testing::TempDir() + "dkfac_atomic_replace.ckpt";
+
+  save_checkpoint(*first, path);
+  save_checkpoint(*second, path);  // rename over the live file
+
+  Rng rng_c(34);
+  LayerPtr restored = mlp(4, 8, 2, rng_c);
+  load_checkpoint(*restored, path);
+  auto ps = second->parameters();
+  auto pr = restored->parameters();
+  ASSERT_EQ(ps.size(), pr.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_TRUE(ps[i]->value == pr[i]->value) << ps[i]->name;
+  }
+}
+
+TEST(SerializeAtomic, SaveToUnwritablePathThrowsAndLeavesNothing) {
+  Rng rng(35);
+  LayerPtr model = mlp(4, 8, 2, rng);
+  EXPECT_THROW(save_checkpoint(*model, "/nonexistent_dir/x.ckpt"), Error);
+}
+
+TEST(SerializeAtomic, FooterDetectsTruncationAtEntryBoundary) {
+  // Cut the stream right where the footer begins: every entry is intact,
+  // so only the footer check can tell this file is incomplete.
+  Rng rng(36);
+  LayerPtr model = mlp(4, 8, 2, rng);
+  const std::string full = checkpoint_bytes(*model);
+  constexpr size_t kFooterBytes = 4 + 8;  // magic + u64 length
+  ASSERT_GT(full.size(), kFooterBytes);
+
+  std::stringstream cut(full.substr(0, full.size() - kFooterBytes));
+  EXPECT_THROW(load_checkpoint(*model, cut), Error);
+}
+
+TEST(SerializeAtomic, FooterDetectsPartiallyCutFooter) {
+  Rng rng(37);
+  LayerPtr model = mlp(4, 8, 2, rng);
+  const std::string full = checkpoint_bytes(*model);
+  std::stringstream cut(full.substr(0, full.size() - 3));
+  EXPECT_THROW(load_checkpoint(*model, cut), Error);
+}
+
+TEST(SerializeAtomic, FooterDetectsLengthMismatch) {
+  // A footer whose length field disagrees with the bytes actually read is
+  // a spliced/corrupt file even when the magic survives.
+  Rng rng(38);
+  LayerPtr model = mlp(4, 8, 2, rng);
+  std::string full = checkpoint_bytes(*model);
+  full[full.size() - 1] ^= 0x5a;  // clobber the high byte of the length
+  std::stringstream spliced(full);
+  EXPECT_THROW(load_checkpoint(*model, spliced), Error);
+}
+
+TEST(SerializeAtomic, IntactCheckpointStillRoundTrips) {
+  Rng rng_a(39), rng_b(40);
+  LayerPtr original = mlp(6, 8, 3, rng_a);
+  LayerPtr restored = mlp(6, 8, 3, rng_b);
+  std::stringstream buffer;
+  save_checkpoint(*original, buffer);
+  load_checkpoint(*restored, buffer);
+  auto pa = original->parameters();
+  auto pb = restored->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value) << pa[i]->name;
+  }
+}
+
+}  // namespace
+}  // namespace dkfac::nn
