@@ -7,8 +7,9 @@
 //             [--update-freq N] [--rank-fraction F] [--overlap]
 //             [--factor-precision fp32|fp16|bf16] [--save PATH]
 //             [--trace PATH] [--metrics PATH]
-//             [--elastic CKPT] [--min-ranks N] [--straggler-slack F]
-//             [--log-level debug|info|warn|error]
+//             [--elastic CKPT] [--min-ranks N] [--max-ranks N]
+//             [--respawns N] [--straggler-slack F]
+//             [--fault-plan PLAN] [--log-level debug|info|warn|error]
 //
 // Trains on the synthetic CIFAR stand-in, prints per-epoch metrics, and
 // optionally writes a checkpoint. `--backend thread` (default) runs the
@@ -19,9 +20,18 @@
 // `--elastic CKPT` runs the socket ranks under the fault-tolerant
 // supervisor instead (train/elastic.hpp): a rank dying mid-run shrinks the
 // group (down to `--min-ranks`) and training resumes from the durable
-// epoch-tagged checkpoint at CKPT. `--straggler-slack F` additionally
-// sheds a step's K-FAC factor update whenever the per-step compute-time
-// spread across ranks exceeds F seconds (works with any backend).
+// epoch-tagged checkpoint at CKPT. `--respawns N` gives each rank slot a
+// budget of N replacement processes, so the supervisor grows the world
+// back (up to `--max-ranks`, default the initial count) after each death.
+// `--straggler-slack F` additionally sheds a step's K-FAC factor update
+// whenever the per-step compute-time spread across ranks exceeds F seconds
+// (works with any backend).
+//
+// `--fault-plan PLAN` arms the deterministic fault-injection layer
+// (comm/net/faultnet.hpp) in every rank: PLAN is a semicolon-separated
+// rule list, e.g. "rank=1,op=send,nth=40,action=bitflip" — see the header
+// for the full grammar. The plan is exported as DKFAC_FAULT_PLAN so forked
+// socket/elastic ranks inherit it.
 //
 // Observability: `--trace PATH` writes a Chrome trace_event JSON
 // (load in Perfetto / chrome://tracing). Under `--backend socket` each
@@ -37,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/net/faultnet.hpp"
 #include "comm/net/launch.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -68,6 +79,9 @@ struct CliOptions {
   std::string metrics_path;
   std::string elastic_checkpoint;
   int min_ranks = 1;
+  int max_ranks = 0;
+  int respawns = 0;
+  std::string fault_plan;
   float straggler_slack = 0.0f;
   std::string log_level = "info";
 };
@@ -81,7 +95,8 @@ struct CliOptions {
                "[--update-freq N] [--rank-fraction F] [--overlap] "
                "[--factor-precision fp32|fp16|bf16] [--save PATH] "
                "[--trace PATH] [--metrics PATH] "
-               "[--elastic CKPT] [--min-ranks N] [--straggler-slack F] "
+               "[--elastic CKPT] [--min-ranks N] [--max-ranks N] "
+               "[--respawns N] [--straggler-slack F] [--fault-plan PLAN] "
                "[--log-level debug|info|warn|error]\n");
   std::exit(2);
 }
@@ -112,6 +127,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--metrics") opts.metrics_path = next();
     else if (arg == "--elastic") opts.elastic_checkpoint = next();
     else if (arg == "--min-ranks") opts.min_ranks = std::atoi(next());
+    else if (arg == "--max-ranks") opts.max_ranks = std::atoi(next());
+    else if (arg == "--respawns") opts.respawns = std::atoi(next());
+    else if (arg == "--fault-plan") opts.fault_plan = next();
     else if (arg == "--straggler-slack") opts.straggler_slack = std::atof(next());
     else if (arg == "--log-level") opts.log_level = next();
     else usage_and_exit();
@@ -128,6 +146,21 @@ int main(int argc, char** argv) {
   const std::optional<LogLevel> level = parse_log_level(cli.log_level);
   if (!level) usage_and_exit();
   log_level() = *level;
+
+  if (!cli.fault_plan.empty()) {
+    // Validate the plan up front (a typo should fail fast, not inside a
+    // forked rank), then export it: socket/elastic children load it from
+    // the environment when their communicator comes up. Faultnet
+    // interposes on the socket wire layer, so the plan only has effect
+    // with --backend socket or --elastic.
+    try {
+      (void)comm::net::faultnet::parse_plan(cli.fault_plan);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
+      return 2;
+    }
+    ::setenv("DKFAC_FAULT_PLAN", cli.fault_plan.c_str(), 1);
+  }
 
   data::SyntheticSpec spec;
   spec.num_classes = 10;
@@ -255,6 +288,8 @@ int main(int argc, char** argv) {
       train::elastic::ElasticOptions eopts;
       eopts.initial_ranks = cli.workers;
       eopts.min_ranks = cli.min_ranks;
+      eopts.max_ranks = cli.max_ranks;
+      eopts.respawns_per_rank = cli.respawns;
       eopts.checkpoint_path = cli.elastic_checkpoint;
       const train::elastic::ElasticResult result =
           train::elastic::run_elastic(factory, spec, config, eopts);
@@ -264,8 +299,9 @@ int main(int argc, char** argv) {
         return result.exit_code == 0 ? 1 : result.exit_code;
       }
       std::printf("elastic job completed: world %d after %d re-formation(s), "
-                  "%llu factor step(s) shed\n",
-                  result.final_world, result.reformations,
+                  "%d respawn(s), %d join(s), %llu factor step(s) shed\n",
+                  result.final_world, result.reformations, result.respawns,
+                  result.joins,
                   static_cast<unsigned long long>(result.skipped_factor_steps));
       std::printf("final loss %.3f  val acc %.1f%%  checkpoint %s\n",
                   result.final_train_loss, 100.0f * result.final_val_accuracy,

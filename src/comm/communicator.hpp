@@ -40,6 +40,17 @@ class PeerFailure : public Error {
   int rank_;
 };
 
+/// A cooperative group-change request, not a failure: the elastic
+/// supervisor has a joiner parked at the rendezvous that can only be
+/// admitted at a generation boundary, so running ranks are asked (via
+/// SIGUSR1 → TrainConfig::reform_poll) to tear down their mesh and
+/// re-rendezvous. Elastic workers catch it exactly like PeerFailure minus
+/// the casualty — the regrown group resumes from the durable checkpoint.
+class RegrowRequest : public Error {
+ public:
+  explicit RegrowRequest(const std::string& what) : Error(what) {}
+};
+
 /// Reduction applied by allreduce.
 enum class ReduceOp {
   kSum,

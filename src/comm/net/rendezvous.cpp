@@ -62,7 +62,7 @@ void RendezvousServer::collect(const std::function<int()>& target,
         return false;
       }
       if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        if (transient_io_errno(errno)) {
           return true;  // not complete yet — keep waiting
         }
         DKFAC_LOG_WARN << "rendezvous: client recv error, dropping";
@@ -169,7 +169,7 @@ void RendezvousServer::collect(const std::function<int()>& target,
       }
       uint8_t probe = 0;
       const ssize_t n = ::recv(reg.sock.fd(), &probe, 1, 0);
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      if (n < 0 && transient_io_errno(errno)) continue;
       DKFAC_LOG_WARN << "rendezvous: parked worker "
                      << (n == 0 ? "died" : "sent unexpected data")
                      << ", dropping its registration";

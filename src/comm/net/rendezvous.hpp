@@ -93,6 +93,17 @@ class RendezvousServer {
 
   int generation() const { return generation_; }
 
+  /// Completed registrations currently parked (hello parsed, waiting for a
+  /// group to form). The elastic supervisor reads this to detect a joiner
+  /// waiting on a generation boundary: a parked worker while the formed
+  /// world sits below target means the running group should be nudged into
+  /// re-forming so the joiner can be admitted.
+  int parked_complete() const {
+    int n = 0;
+    for (const Registration& reg : parked_) n += reg.complete ? 1 : 0;
+    return n;
+  }
+
   /// Drops the listening socket. Forked children call this so only the
   /// launcher ever accepts on the inherited fd.
   void close() { listener_.close(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "comm/net/faultnet.hpp"
 #include "comm/net/rendezvous.hpp"
 #include "common/error.hpp"
 #include "obs/trace.hpp"
@@ -33,6 +34,10 @@ std::vector<size_t> chunk_offsets(size_t n, int chunks) {
 }  // namespace
 
 SocketComm::SocketComm(const SocketOptions& options) : options_(options) {
+  // Arm a scripted fault plan from DKFAC_FAULT_PLAN if one is set (forked
+  // rank processes inherit the variable from the launcher). One relaxed
+  // load per process after the first call; no plan → no behavior change.
+  faultnet::load_from_env();
   DKFAC_CHECK(options_.elastic || options_.world_size >= 1)
       << "SocketComm needs at least one rank";
   size_ = options_.elastic ? 1 : options_.world_size;
@@ -56,6 +61,9 @@ SocketComm::SocketComm(const SocketOptions& options) : options_(options) {
   rank_ = info.rank;
   size_ = info.world_size;
   generation_ = info.generation;
+  // rank= fault rules target the data-plane rank just assigned; until here
+  // only rank-agnostic rules could fire.
+  if (faultnet::active()) faultnet::set_rank(rank_);
 
   peers_.resize(static_cast<size_t>(size_));
   send_seq_.assign(static_cast<size_t>(size_), 0);

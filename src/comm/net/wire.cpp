@@ -9,11 +9,13 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
 #include <thread>
 
+#include "comm/net/faultnet.hpp"
 #include "common/clock.hpp"
 
 namespace dkfac::comm::net {
@@ -85,6 +87,31 @@ sockaddr_in local_addr(const std::string& host, uint16_t port) {
 }
 
 }  // namespace
+
+bool transient_connect_errno(int err) {
+  // The listener is not up or not accepting yet (rendezvous startup), or
+  // the kernel shed the attempt under churn — worth retrying until the
+  // deadline. Anything else is a configuration/routing fault.
+  return err == ECONNREFUSED || err == ECONNRESET || err == ECONNABORTED ||
+         err == ETIMEDOUT || err == EAGAIN || err == EINTR;
+}
+
+bool transient_io_errno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == EINTR;
+}
+
+double Backoff::next_s() {
+  // splitmix64 step — cheap, stateless-quality jitter per draw.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  const double delay = delay_s_ * (0.5 + 0.5 * unit);
+  delay_s_ = std::min(delay_s_ * 2.0, cap_s_);
+  return delay;
+}
 
 uint32_t crc32(std::span<const uint8_t> data) {
   const auto& t = kCrcTables;
@@ -186,33 +213,46 @@ Socket Socket::connect_to(const std::string& host, uint16_t port,
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(timeout_s));
   const sockaddr_in addr = local_addr(host, port);
+  // Seeded-jittered exponential backoff between transient failures:
+  // restarting ranks that all dial the same listener de-synchronise their
+  // retries instead of hammering it in lockstep, and the seed (port ⊕ pid)
+  // keeps each process's retry schedule reproducible.
+  Backoff backoff(static_cast<uint64_t>(port) * 0x9E3779B9ull ^
+                  static_cast<uint64_t>(::getpid()));
   for (;;) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket()");
-    Socket sock(fd);  // non-blocking from here on
-    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                             sizeof(addr));
-    int err = rc == 0 ? 0 : errno;
-    if (err == EINPROGRESS) {
-      wait_ready(fd, POLLOUT, deadline, "connect");
-      socklen_t len = sizeof(err);
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    // faultnet refused-connect injection replaces the real attempt and
+    // rides the same transient retry path a genuine ECONNREFUSED takes.
+    if (!(faultnet::active() && faultnet::on_connect_attempt())) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) throw_errno("socket()");
+      Socket sock(fd);  // non-blocking from here on
+      const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                               sizeof(addr));
+      int err = rc == 0 ? 0 : errno;
+      if (err == EINPROGRESS) {
+        wait_ready(fd, POLLOUT, deadline, "connect");
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      }
+      if (err == 0) {
+        sock.set_nodelay();
+        return sock;
+      }
+      // The listener may not be accepting yet (rendezvous startup): retry
+      // transient failures until the deadline.
+      if (!transient_connect_errno(err)) {
+        errno = err;
+        throw_errno("connect");
+      }
     }
-    if (err == 0) {
-      sock.set_nodelay();
-      return sock;
-    }
-    // The listener may not be accepting yet (rendezvous startup): retry
-    // refused/reset connections until the deadline.
-    if (err != ECONNREFUSED && err != ECONNRESET) {
-      errno = err;
-      throw_errno("connect");
-    }
-    if (Clock::now() >= deadline) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
       throw Error("connect to " + host + ":" + std::to_string(port) +
                   ": timed out (connection refused)");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const double left = std::chrono::duration<double>(deadline - now).count();
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        std::min(backoff.next_s(), std::max(left, 0.0))));
   }
 }
 
@@ -354,6 +394,29 @@ size_t send_frame(Socket& sock, FrameType type, uint32_t seq,
   header.checksum = crc32(payload);
   uint8_t raw[kFrameHeaderBytes];
   header.encode(raw);
+  if (faultnet::active()) {
+    // The hook runs AFTER the checksum above, so an injected bitflip ships
+    // under the original CRC and the receiver converts it to a typed error.
+    thread_local std::vector<uint8_t> fault_scratch;
+    const faultnet::SendFault fault =
+        faultnet::on_send(sock.fd(), payload, fault_scratch);
+    if (fault.truncate_after) {
+      const size_t cap = *fault.truncate_after;
+      const size_t head = std::min(cap, kFrameHeaderBytes);
+      sock.send_all(raw, head, timeout_s);
+      if (cap > head) {
+        sock.send_all(fault.payload.data(), cap - head, timeout_s);
+      }
+      ::shutdown(sock.fd(), SHUT_RDWR);
+      throw Error("send: faultnet injected short write (" +
+                  std::to_string(cap) + " of " +
+                  std::to_string(kFrameHeaderBytes + payload.size()) +
+                  " bytes)");
+    }
+    sock.send_vectored(raw, kFrameHeaderBytes, fault.payload.data(),
+                       fault.payload.size(), timeout_s);
+    return kFrameHeaderBytes + payload.size();
+  }
   // Gather-send header + payload in one syscall: the payload is read
   // straight from the caller's (arena) memory, never assembled into a
   // contiguous frame buffer first.
@@ -366,6 +429,7 @@ namespace {
 
 FrameHeader recv_validated_header(Socket& sock, FrameType type, uint32_t seq,
                                   double timeout_s) {
+  if (faultnet::active()) faultnet::on_recv(sock.fd());
   uint8_t raw[kFrameHeaderBytes];
   sock.recv_all(raw, kFrameHeaderBytes, timeout_s);
   const FrameHeader header = FrameHeader::decode(raw);
@@ -437,6 +501,23 @@ size_t exchange_frames_impl(Socket& to, FrameType send_type, uint32_t send_seq,
   send_header.checksum = crc32(send_payload);
   uint8_t send_raw[kFrameHeaderBytes];
   send_header.encode(send_raw);
+  std::vector<uint8_t> fault_scratch;
+  if (faultnet::active()) {
+    // After the checksum: an injected bitflip ships under the original CRC
+    // (typed error at the receiver), a short write truncates the frame.
+    const faultnet::SendFault fault =
+        faultnet::on_send(to.fd(), send_payload, fault_scratch);
+    if (fault.truncate_after) {
+      const size_t cap = *fault.truncate_after;
+      const size_t head = std::min(cap, kFrameHeaderBytes);
+      to.send_all(send_raw, head, timeout_s);
+      if (cap > head) to.send_all(fault.payload.data(), cap - head, timeout_s);
+      ::shutdown(to.fd(), SHUT_RDWR);
+      throw Error("exchange: faultnet injected short write");
+    }
+    send_payload = fault.payload;
+    faultnet::on_recv(from.fd());
+  }
   size_t send_pos = 0;
   const size_t send_total = kFrameHeaderBytes + send_payload.size();
 

@@ -65,6 +65,41 @@ struct FrameHeader {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
 uint32_t crc32(std::span<const uint8_t> data);
 
+// ---- errno classification -------------------------------------------------
+//
+// The single place transient vs fatal network errnos are told apart; the
+// Socket retry loops and the rendezvous registration pump both route
+// through these so the two layers can never drift on what "try again"
+// means.
+
+/// Connect-phase errnos worth retrying until the deadline: the listener is
+/// not accepting yet (rendezvous startup) or the kernel dropped the
+/// attempt transiently. Everything else (EADDRNOTAVAIL, ENETUNREACH, ...)
+/// is a configuration or routing fault — fail fast.
+bool transient_connect_errno(int err);
+
+/// Errnos a non-blocking I/O loop treats as "no progress right now, poll
+/// and retry": EAGAIN / EWOULDBLOCK / EINTR.
+bool transient_io_errno(int err);
+
+/// Seeded-jittered exponential backoff for connect retries: each next_s()
+/// doubles the base delay (capped) and scales it by a deterministic jitter
+/// in [0.5, 1.0], so retry storms from simultaneously restarting ranks
+/// de-synchronise without losing reproducibility for a fixed seed.
+class Backoff {
+ public:
+  explicit Backoff(uint64_t seed, double base_s = 0.002, double cap_s = 0.25)
+      : state_(seed), delay_s_(base_s), cap_s_(cap_s) {}
+
+  /// The next sleep in seconds.
+  double next_s();
+
+ private:
+  uint64_t state_;
+  double delay_s_;
+  double cap_s_;
+};
+
 /// Non-blocking TCP socket with poll-based deadlines. Move-only RAII.
 class Socket {
  public:

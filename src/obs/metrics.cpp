@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "comm/net/faultnet.hpp"
 #include "obs/trace.hpp"
 
 namespace dkfac::obs {
@@ -58,6 +59,16 @@ StepMetricsLogger::StepMetricsLogger(const std::string& path) {
   elastic_reformations_ = &registry_.add_counter("elastic.reformations");
   elastic_skipped_factor_steps_ =
       &registry_.add_counter("elastic.skipped_factor_steps");
+  elastic_joins_ = &registry_.add_counter("elastic.joins");
+  elastic_respawns_ = &registry_.add_counter("elastic.respawns");
+  faultnet_total_ = &registry_.add_counter("faultnet.injected.total");
+  faultnet_refused_ = &registry_.add_counter("faultnet.injected.refused");
+  faultnet_resets_ = &registry_.add_counter("faultnet.injected.resets");
+  faultnet_stalls_ = &registry_.add_counter("faultnet.injected.stalls");
+  faultnet_short_writes_ =
+      &registry_.add_counter("faultnet.injected.short_writes");
+  faultnet_bitflips_ = &registry_.add_counter("faultnet.injected.bitflips");
+  faultnet_aborts_ = &registry_.add_counter("faultnet.injected.aborts");
 
   train_loss_ = &registry_.add_gauge("train.loss");
   train_accuracy_ = &registry_.add_gauge("train.accuracy");
@@ -104,6 +115,17 @@ void StepMetricsLogger::record(const StepSample& sample,
   async_batches_->set(comm.async.batches);
   elastic_reformations_->set(sample.elastic_reformations);
   elastic_skipped_factor_steps_->set(sample.elastic_skipped_factor_steps);
+  elastic_joins_->set(sample.elastic_joins);
+  elastic_respawns_->set(sample.elastic_respawns);
+  const comm::net::faultnet::InjectCounts faults =
+      comm::net::faultnet::counts();
+  faultnet_total_->set(faults.total);
+  faultnet_refused_->set(faults.refused);
+  faultnet_resets_->set(faults.resets);
+  faultnet_stalls_->set(faults.stalls);
+  faultnet_short_writes_->set(faults.short_writes);
+  faultnet_bitflips_->set(faults.bitflips);
+  faultnet_aborts_->set(faults.aborts);
 
   train_loss_->set(sample.loss);
   train_accuracy_->set(sample.accuracy);

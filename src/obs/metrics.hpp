@@ -36,6 +36,11 @@ struct StepSample {
   /// straggler slack. Zero outside elastic runs.
   uint64_t elastic_reformations = 0;
   uint64_t elastic_skipped_factor_steps = 0;
+  /// Elastic scale-up: ranks observed joining the group across this
+  /// process's re-formations, and whether this process is a respawned
+  /// replacement (0/1).
+  uint64_t elastic_joins = 0;
+  uint64_t elastic_respawns = 0;
 };
 
 /// Communication overlap split: hidden = collective time the main thread
@@ -103,6 +108,17 @@ class StepMetricsLogger {
   Registry::Counter* kfac_decomp_inter_;
   Registry::Counter* elastic_reformations_;
   Registry::Counter* elastic_skipped_factor_steps_;
+  Registry::Counter* elastic_joins_;
+  Registry::Counter* elastic_respawns_;
+  // faultnet injection counters, read straight from the global faultnet
+  // atomics at record() time (zero when no plan is armed).
+  Registry::Counter* faultnet_total_;
+  Registry::Counter* faultnet_refused_;
+  Registry::Counter* faultnet_resets_;
+  Registry::Counter* faultnet_stalls_;
+  Registry::Counter* faultnet_short_writes_;
+  Registry::Counter* faultnet_bitflips_;
+  Registry::Counter* faultnet_aborts_;
 
   // Gauges (this step's values).
   Registry::Gauge* train_loss_;

@@ -1,4 +1,5 @@
-// Elastic fault-tolerant training: survive rank death mid-run.
+// Elastic fault-tolerant training: survive rank death mid-run, then grow
+// the world back.
 //
 // run_elastic() supervises a multi-process socket-backend training job the
 // way net::run_ranks supervises a fixed one, except that a rank dying
@@ -21,20 +22,33 @@
 //      and resumes at that epoch + 1. Factor ownership redistributes
 //      automatically: KfacPreconditioner derives its assignment from the
 //      communicator size at construction.
-//   4. STRAGGLER SLACK — orthogonal to death: a rank that is merely slow
+//   4. REGROW — with a respawn budget (`respawns_per_rank` > 0) the
+//      supervisor forks a replacement child for each non-zero-exit death
+//      after a jittered exponential backoff, bounded by `max_ranks` (never
+//      above the initial world). The replacement registers as an elastic
+//      joiner; if the shrunk group has already re-formed without it, the
+//      supervisor nudges every running child with SIGUSR1 — the trainer
+//      polls TrainConfig::reform_poll at the top of each step and throws
+//      comm::RegrowRequest, a cooperative "tear down and re-rendezvous"
+//      that admits the joiner at the next generation boundary. Joiners
+//      restore the durable checkpoint like any re-formed rank, completing
+//      shrink → recover → regrow.
+//   5. STRAGGLER SLACK — orthogonal to death: a rank that is merely slow
 //      on a factor-update step triggers a collective vote that sheds the
 //      step's factor update for ALL ranks (the paper's update-frequency-
 //      decay semantics) instead of stalling the group. See
 //      TrainConfig::straggler_slack_s.
 //
-// Counters surface in the metrics stream as `elastic.reformations` and
-// `elastic.skipped_factor_steps`; recovery phases emit trace spans
-// (`elastic.reformation`, `elastic.rejoin`, `elastic.straggler_vote`).
+// Counters surface in the metrics stream as `elastic.reformations`,
+// `elastic.skipped_factor_steps`, `elastic.joins` and `elastic.respawns`;
+// recovery phases emit trace spans (`elastic.reformation`,
+// `elastic.rejoin`, `elastic.regrow`, `elastic.straggler_vote`).
 //
 // What is survivable: any number of rank deaths over time, as long as at
-// least `min_ranks` children remain and re-formations stay within
-// `max_reformations`. What is not: the supervisor process dying, loss of
-// the checkpoint file, and deaths before the first epoch's checkpoint
+// least `min_ranks` children (counting pending respawns) remain and
+// re-formations stay within `max_reformations`. What is not: the
+// supervisor process dying, loss of BOTH checkpoint copies (the newest and
+// its `.prev` rotation), and deaths before the first epoch's checkpoint
 // exists (the group re-forms but restarts from epoch 0).
 #pragma once
 
@@ -50,6 +64,8 @@ namespace dkfac::train::elastic {
 /// Fault injection: the child whose generation-0 rank is `rank` SIGKILLs
 /// itself at the top of (epoch, step), before any collective of that step.
 /// Only fires in generation 0 — re-formed groups run undisturbed.
+/// (Prefer the scriptable faultnet plans — see comm/net/faultnet.hpp — for
+/// anything beyond this single canned kill.)
 struct KillSpec {
   int rank = 0;
   int epoch = 0;
@@ -59,18 +75,36 @@ struct KillSpec {
 struct ElasticOptions {
   /// Children forked at launch (generation 0's world size).
   int initial_ranks = 4;
-  /// The job fails once fewer than this many children survive.
+  /// The job fails once fewer than this many children (alive + pending
+  /// respawns) remain.
   int min_ranks = 1;
-  /// Bound on how many times any child may re-rendezvous before giving up.
+  /// Bound on how many times any child may re-rendezvous after a peer
+  /// failure before giving up. Cooperative regrow re-formations
+  /// (comm::RegrowRequest) do not count against this.
   int max_reformations = 3;
+  /// Ceiling on the regrown world size. 0 = initial_ranks. Never exceeds
+  /// initial_ranks (data sharding and LR schedule are sized for it).
+  int max_ranks = 0;
+  /// Respawn budget per child slot: how many replacement processes the
+  /// supervisor may fork for one slot after non-zero-exit deaths.
+  /// 0 (default) disables regrow — deaths only shrink, exactly the
+  /// pre-scale-up behavior.
+  int respawns_per_rank = 0;
+  /// Base delay before a replacement is forked; doubles per respawn of the
+  /// same slot with deterministic jitter (seeded from `seed`).
+  double respawn_backoff_s = 0.25;
+  /// Seed for respawn-backoff jitter.
+  uint64_t seed = 1;
   /// Per-operation network deadline inside each child's SocketComm — the
   /// detection latency bound for a dead peer.
   double comm_timeout_s = 20.0;
   /// How long the initial group may take to assemble.
   double rendezvous_timeout_s = 30.0;
   /// Durable epoch-tagged checkpoint path (required). Written atomically
-  /// by rank 0 at every epoch boundary; re-formed groups resume from it.
-  /// The supervisor's machine-readable summary lands at `<path>.result`.
+  /// by rank 0 at every epoch boundary; the previous epoch's file is kept
+  /// as `<path>.prev` so a torn/corrupted newest entry falls back one
+  /// epoch. Re-formed groups resume from it. The supervisor's
+  /// machine-readable summary lands at `<path>.result`.
   std::string checkpoint_path;
   /// Optional chaos injection (tests).
   std::optional<KillSpec> kill;
@@ -90,13 +124,19 @@ struct ElasticResult {
   uint64_t skipped_factor_steps = 0;
   /// World size of the group that finished.
   int final_world = 0;
+  /// Replacement children the supervisor forked (regrow).
+  int respawns = 0;
+  /// Ranks observed joining across generation boundaries — a world that
+  /// grew from one generation to the next counts the growth here.
+  int joins = 0;
 };
 
 /// Supervises an elastic training job: forks `initial_ranks` children,
-/// pumps the rendezvous for re-formations, reaps deaths, and returns the
-/// published result of whichever generation ran to completion. Throws
-/// dkfac::Error only for setup errors (bad options, fork failure) — rank
-/// deaths and failed runs are reported through the result.
+/// pumps the rendezvous for re-formations, reaps deaths, respawns
+/// replacements within budget, and returns the published result of
+/// whichever generation ran to completion. Throws dkfac::Error only for
+/// setup errors (bad options, fork failure) — rank deaths and failed runs
+/// are reported through the result.
 ElasticResult run_elastic(const ModelFactory& factory,
                           const data::SyntheticSpec& data_spec,
                           const TrainConfig& config,
@@ -104,22 +144,41 @@ ElasticResult run_elastic(const ModelFactory& factory,
 
 // ---- epoch-tagged checkpoint container ------------------------------------
 //
-// A plain nn::save_checkpoint stream prefixed with
-//   magic "DKEL" | u32 version | u64 epoch
-// and written with the same tmp + fsync + rename discipline, so "which
-// epoch does this checkpoint hold" survives crashes with the same atomicity
-// as the weights themselves.
+// A plain nn::save_checkpoint stream wrapped as
+//   magic "DKEL" | u32 version | u64 epoch | <nn stream> | "DKEF" | u32 crc
+// where crc is the CRC-32 of every preceding byte, written with the same
+// tmp + fsync + rename discipline as the weights themselves. Each save
+// first rotates the existing file to `<path>.prev`, so the newest entry
+// failing its footer/CRC check (torn write, bit rot, truncation) falls
+// back to the previous intact epoch instead of poisoning the rejoin.
 
-/// Atomically writes `model` tagged with `epoch` to `path`.
+/// Atomically writes `model` tagged with `epoch` to `path`, rotating any
+/// existing file to `<path>.prev` first.
 void save_elastic_checkpoint(nn::Layer& model, int epoch,
                              const std::string& path);
 
-/// The epoch tag of the checkpoint at `path`, or nullopt if the file is
-/// missing or not an elastic checkpoint. Never throws.
+/// Which checkpoint file a rejoining group should restore.
+struct ResolvedCheckpoint {
+  std::string file;        ///< the file that validated (path or path.prev)
+  int epoch = 0;           ///< its epoch tag
+  bool fell_back = false;  ///< true when the newest entry was corrupt
+};
+
+/// Validates the newest checkpoint (full header + CRC-32 footer) and falls
+/// back to `<path>.prev` when it is corrupt or truncated. Returns nullopt
+/// when `path` does not exist at all (fresh start — a stale `.prev` alone
+/// is ignored). Throws dkfac::Error when the newest entry is corrupt and
+/// no intact previous epoch exists.
+std::optional<ResolvedCheckpoint> resolve_elastic_checkpoint(
+    const std::string& path);
+
+/// The epoch tag of the checkpoint at `path` if it validates end to end
+/// (header + CRC), else nullopt. Never throws; no `.prev` fallback.
 std::optional<int> read_elastic_epoch_tag(const std::string& path);
 
 /// Restores `model` from an elastic checkpoint and returns its epoch tag.
-/// Throws dkfac::Error on a missing/corrupt file or mismatched model.
+/// Throws dkfac::Error on a missing/corrupt/CRC-failing file or mismatched
+/// model — never restores from a payload whose checksum does not match.
 int load_elastic_checkpoint(nn::Layer& model, const std::string& path);
 
 }  // namespace dkfac::train::elastic

@@ -12,6 +12,7 @@
 #include "comm/arena.hpp"
 #include "comm/async_executor.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/net/faultnet.hpp"
 #include "comm/thread_comm.hpp"
 #include "core/preconditioner.hpp"
 #include "nn/loss.hpp"
@@ -24,6 +25,11 @@
 namespace dkfac::train {
 
 namespace {
+
+/// Scripted-fault phase probe — one relaxed load when no plan is armed.
+inline void faultnet_phase(comm::net::faultnet::Phase phase) {
+  if (comm::net::faultnet::active()) comm::net::faultnet::at_phase(phase);
+}
 
 /// Type-erased inner optimizer so the loop is optimizer-agnostic.
 class AnyOptimizer {
@@ -245,6 +251,18 @@ TrainResult train_with_comm(const ModelFactory& factory,
         step_span.set_arg("batch", static_cast<uint64_t>(b));
       }
       if (config.step_probe) config.step_probe(epoch, b);
+      // Cooperative regrow: the supervisor signalled that a joiner is
+      // parked at the rendezvous. Leave BEFORE any collective of this step
+      // — every rank polls the same signal, so the group departs together.
+      if (config.reform_poll && config.reform_poll()) {
+        throw comm::RegrowRequest(
+            "elastic: regrow requested — re-forming at the next generation");
+      }
+      // Scripted faults: publish the (epoch, step) context for epoch=/step=
+      // rule matching and fire phase=step rules.
+      if (comm::net::faultnet::active()) {
+        comm::net::faultnet::set_step(epoch, b);
+      }
       const auto step_start = Clock::now();
       const float frac_epoch =
           static_cast<float>(epoch) +
@@ -259,6 +277,7 @@ TrainResult train_with_comm(const ModelFactory& factory,
       Tensor logits;
       {
         DKFAC_TRACE_SCOPE("train.forward");
+        faultnet_phase(comm::net::faultnet::Phase::kForward);
         logits = model->forward(batch.images);
       }
       const auto t_forward = Clock::now();
@@ -268,12 +287,14 @@ TrainResult train_with_comm(const ModelFactory& factory,
       // allreduces into the executor DURING this call.
       {
         DKFAC_TRACE_SCOPE("train.backward");
+        faultnet_phase(comm::net::faultnet::Phase::kBackward);
         model->backward(loss.grad);
       }
       const auto t_backward = Clock::now();
 
       {
         DKFAC_TRACE_SCOPE("train.grad_comm");
+        faultnet_phase(comm::net::faultnet::Phase::kGradComm);
         if (executor) {
           executor->wait();  // optimizer.synchronize(): grads now averaged
         } else if (grad_fusion) {
@@ -338,6 +359,7 @@ TrainResult train_with_comm(const ModelFactory& factory,
       }
       {
         DKFAC_TRACE_SCOPE("train.apply");
+        faultnet_phase(comm::net::faultnet::Phase::kApply);
         if (kfac) kfac->step();                 // preconditioner.step()
         optimizer->step();                      // optimizer.step()
       }
@@ -367,6 +389,8 @@ TrainResult train_with_comm(const ModelFactory& factory,
         sample.elastic_reformations = config.elastic_reformations;
         sample.elastic_skipped_factor_steps =
             config.skipped_factor_steps_baseline + result.skipped_factor_steps;
+        sample.elastic_joins = config.elastic_joins;
+        sample.elastic_respawns = config.elastic_respawns;
         metrics_logger->record(sample, stats_snapshot,
                                kfac ? &kfac->last_report() : nullptr,
                                arena_snapshot);

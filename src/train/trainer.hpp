@@ -112,11 +112,25 @@ struct TrainConfig {
   /// use it to self-SIGKILL a rank at an exact, reproducible point.
   std::function<void(int, int64_t)> step_probe;
 
+  /// Elastic scale-up: polled at the top of every step, BEFORE any
+  /// collective. Returning true makes the trainer throw comm::RegrowRequest
+  /// — the cooperative "tear down and re-rendezvous so a waiting joiner can
+  /// be admitted" signal. All ranks must poll the same external condition
+  /// (the supervisor signals everyone), so the group leaves together
+  /// within one step. Null = never.
+  std::function<bool()> reform_poll;
+
   /// Elastic counters carried across re-formations, surfaced verbatim in
   /// the metrics stream (elastic.reformations) and added to this run's
   /// shed-step count (elastic.skipped_factor_steps).
   uint64_t elastic_reformations = 0;
   uint64_t skipped_factor_steps_baseline = 0;
+  /// Elastic scale-up counters for the metrics stream: ranks observed
+  /// joining the group across this process's re-formations
+  /// (elastic.joins), and whether this process itself is a respawned
+  /// replacement (elastic.respawns).
+  uint64_t elastic_joins = 0;
+  uint64_t elastic_respawns = 0;
 };
 
 struct EpochMetrics {

@@ -14,10 +14,12 @@
 // socket_train_parity_test.cpp. Keep it first in this file.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
@@ -141,6 +143,95 @@ TEST(ElasticTrain, FailsCleanlyBelowMinRanks) {
   EXPECT_NE(result.exit_code, 0);
 }
 
+TEST(ElasticRegrow, KilledRankIsReplacedAndWorldGrowsBack) {
+  // Scale-up headline (forked — keep before the OpenMP cases): rank 2
+  // SIGKILLs itself mid-epoch, and with a respawn budget the supervisor
+  // forks a replacement that joins at the next generation boundary —
+  // shrink, recover, regrow to the initial world, and still converge to
+  // within 0.05 of the undisturbed baseline.
+  const std::string dir = ::testing::TempDir();
+  TrainConfig config = tiny_config();
+  // One epoch more than the shrink case: the restarted epoch rebuilds
+  // momentum and K-FAC factor state from scratch, and the extra epoch lets
+  // both runs settle back to the same attractor for the 0.05 loss check.
+  config.epochs = 4;
+
+  elastic::ElasticOptions opts;
+  opts.initial_ranks = 4;
+  opts.min_ranks = 2;
+  opts.comm_timeout_s = 10.0;
+  opts.rendezvous_timeout_s = 20.0;
+
+  opts.checkpoint_path = dir + "dkfac_regrow_baseline.ckpt";
+  std::remove(opts.checkpoint_path.c_str());
+  const elastic::ElasticResult baseline =
+      elastic::run_elastic(tiny_cnn_factory(), tiny_spec(), config, opts);
+  ASSERT_TRUE(baseline.completed) << "exit code " << baseline.exit_code;
+  EXPECT_EQ(baseline.respawns, 0);
+  EXPECT_EQ(baseline.joins, 0);
+
+  TrainConfig chaos_config = config;
+  chaos_config.metrics_path = dir + "dkfac_regrow_metrics.jsonl";
+  elastic::ElasticOptions chaos_opts = opts;
+  chaos_opts.checkpoint_path = dir + "dkfac_regrow_chaos.ckpt";
+  chaos_opts.respawns_per_rank = 1;  // max_ranks defaults to initial_ranks
+  std::remove(chaos_opts.checkpoint_path.c_str());
+  std::remove(chaos_config.metrics_path.c_str());
+  chaos_opts.kill = elastic::KillSpec{/*rank=*/2, /*epoch=*/1, /*step=*/1};
+  const elastic::ElasticResult chaos = elastic::run_elastic(
+      tiny_cnn_factory(), tiny_spec(), chaos_config, chaos_opts);
+  ASSERT_TRUE(chaos.completed) << "exit code " << chaos.exit_code;
+  EXPECT_GE(chaos.reformations, 1);
+  EXPECT_EQ(chaos.final_world, 4) << "the world did not grow back";
+  EXPECT_GE(chaos.respawns, 1);
+  EXPECT_GE(chaos.joins, 1);
+  EXPECT_NEAR(chaos.final_train_loss, baseline.final_train_loss, 0.05);
+
+  // The regrow is observable: rank 0's metrics stream carries the scale-up
+  // counters, with the join recorded in the final generation's records.
+  const std::string metrics = slurp(chaos_config.metrics_path);
+  ASSERT_FALSE(metrics.empty());
+  EXPECT_NE(metrics.find("\"elastic.joins\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"elastic.respawns\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"elastic.joins\":1"), std::string::npos);
+}
+
+TEST(ElasticRegrow, LateJoinerIsAdmittedViaRegrowNudge) {
+  // Forked — keep before the OpenMP cases. A long respawn backoff makes
+  // the survivors re-form WITHOUT the replacement; when it finally parks
+  // at the rendezvous the supervisor must nudge the running group
+  // (SIGUSR1 → RegrowRequest at the next step) into re-forming so the
+  // joiner is admitted — the generation-boundary path, not the
+  // form-together path. Steps are slowed so the shrunk group is still
+  // training when the joiner arrives.
+  const std::string dir = ::testing::TempDir();
+  TrainConfig config = tiny_config();
+  config.epochs = 4;
+  config.step_probe = [](int, int64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  };
+
+  elastic::ElasticOptions opts;
+  opts.initial_ranks = 4;
+  opts.min_ranks = 2;
+  opts.comm_timeout_s = 10.0;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.respawns_per_rank = 1;
+  opts.respawn_backoff_s = 1.5;  // survivors re-form well before this
+  opts.checkpoint_path = dir + "dkfac_regrow_nudge.ckpt";
+  std::remove(opts.checkpoint_path.c_str());
+  opts.kill = elastic::KillSpec{/*rank=*/2, /*epoch=*/1, /*step=*/1};
+
+  const elastic::ElasticResult result =
+      elastic::run_elastic(tiny_cnn_factory(), tiny_spec(), config, opts);
+  ASSERT_TRUE(result.completed) << "exit code " << result.exit_code;
+  EXPECT_EQ(result.final_world, 4) << "the late joiner was never admitted";
+  EXPECT_EQ(result.respawns, 1);
+  EXPECT_GE(result.joins, 1);
+  // At least two boundaries: the shrink re-formation and the regrow.
+  EXPECT_GE(result.reformations, 2);
+}
+
 TEST(ElasticStraggler, SlowRankShedsFactorUpdatesForAllRanks) {
   // Thread-backed (spawns OpenMP — keep after the forked cases): rank 3
   // reports 200 ms of simulated lag into every straggler vote, far past
@@ -190,6 +281,8 @@ TEST(ElasticCheckpoint, MissingOrGarbageFilesAreNotCheckpoints) {
   const std::string dir = ::testing::TempDir();
   EXPECT_EQ(elastic::read_elastic_epoch_tag(dir + "does_not_exist.ckpt"),
             std::nullopt);
+  EXPECT_EQ(elastic::resolve_elastic_checkpoint(dir + "does_not_exist.ckpt"),
+            std::nullopt);
 
   const std::string garbage = dir + "dkfac_elastic_garbage.ckpt";
   {
@@ -201,6 +294,84 @@ TEST(ElasticCheckpoint, MissingOrGarbageFilesAreNotCheckpoints) {
   Rng rng(23);
   nn::LayerPtr model = nn::simple_cnn(3, 4, rng, 4);
   EXPECT_THROW(elastic::load_elastic_checkpoint(*model, garbage), Error);
+}
+
+TEST(ElasticCheckpoint, TruncatedNewestFallsBackToPreviousEpoch) {
+  // Regression for the torn-write rejoin: each save rotates the prior file
+  // to `.prev`, and a newest entry whose tail is truncated (the classic
+  // crash-mid-write shape) must fail its CRC footer and resolve to the
+  // previous intact epoch — never be half-loaded, never a hang or crash.
+  Rng rng(31);
+  nn::LayerPtr model = nn::simple_cnn(3, 4, rng, 4);
+  const std::string path =
+      ::testing::TempDir() + "dkfac_elastic_fallback.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+
+  elastic::save_elastic_checkpoint(*model, 1, path);
+  elastic::save_elastic_checkpoint(*model, 2, path);
+
+  // Intact: the newest epoch wins, no fallback.
+  auto resolved = elastic::resolve_elastic_checkpoint(path);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->epoch, 2);
+  EXPECT_FALSE(resolved->fell_back);
+
+  // Truncate the tail of the newest entry.
+  const std::string full = slurp(path);
+  ASSERT_GT(full.size(), 16u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() - 9));
+  }
+  EXPECT_EQ(elastic::read_elastic_epoch_tag(path), std::nullopt);
+  resolved = elastic::resolve_elastic_checkpoint(path);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_TRUE(resolved->fell_back);
+  EXPECT_EQ(resolved->epoch, 1);
+  Rng rng2(32);
+  nn::LayerPtr restored = nn::simple_cnn(3, 4, rng2, 4);
+  EXPECT_EQ(elastic::load_elastic_checkpoint(*restored, resolved->file), 1);
+
+  // A flipped payload byte (bit rot) takes the same fallback.
+  {
+    std::string corrupt = full;
+    corrupt[corrupt.size() / 2] ^= 0x20;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  }
+  resolved = elastic::resolve_elastic_checkpoint(path);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_TRUE(resolved->fell_back);
+  EXPECT_EQ(resolved->epoch, 1);
+}
+
+TEST(ElasticCheckpoint, CorruptionWithoutIntactPreviousIsTypedError) {
+  Rng rng(33);
+  nn::LayerPtr model = nn::simple_cnn(3, 4, rng, 4);
+  const std::string path =
+      ::testing::TempDir() + "dkfac_elastic_no_fallback.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+
+  // First save: no `.prev` exists yet. Corrupting the only copy must be a
+  // typed Error — restarting silently from random weights would be worse
+  // than failing.
+  elastic::save_elastic_checkpoint(*model, 1, path);
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)elastic::resolve_elastic_checkpoint(path), Error);
+
+  // A missing newest with only a stale `.prev` is a fresh start, not a
+  // resurrection of an old epoch.
+  elastic::save_elastic_checkpoint(*model, 1, path);
+  elastic::save_elastic_checkpoint(*model, 2, path);
+  std::remove(path.c_str());
+  EXPECT_EQ(elastic::resolve_elastic_checkpoint(path), std::nullopt);
 }
 
 }  // namespace
